@@ -1,0 +1,94 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **Tree methods (Remark 1)** — M1 vs M2 vs M3, via the static
+  analysis at 64 switches (the fast full-scale path).
+* **Phase 3 (redundant-turn release)** — DOWN/UP with and without the
+  release pass: measures both the construction cost of
+  ``cycle_detection`` and the routing quality it buys.
+* **L-turn release pass** — same toggle for the baseline.
+"""
+
+import pytest
+
+from repro.analysis.static_load import static_utilization_report
+from repro.core.coordinated_tree import TreeMethod, build_coordinated_tree
+from repro.core.downup import build_down_up_routing
+from repro.routing.lturn import build_l_turn_routing
+
+
+@pytest.mark.parametrize("method", list(TreeMethod), ids=lambda m: m.name)
+def test_tree_method_ablation(benchmark, topo64, method):
+    def run():
+        tree = build_coordinated_tree(topo64, method, rng=1)
+        routing = build_down_up_routing(topo64, tree=tree)
+        return static_utilization_report(routing, tree)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0 < report["hot_spot_degree"] < 100
+
+
+@pytest.mark.parametrize("phase3", [True, False], ids=["release", "no-release"])
+def test_phase3_ablation(benchmark, topo64, phase3):
+    routing = benchmark.pedantic(
+        lambda: build_down_up_routing(topo64, apply_phase3=phase3),
+        rounds=1,
+        iterations=1,
+    )
+    if phase3:
+        assert routing.meta["releases"] >= 0
+    else:
+        assert routing.meta["releases"] == 0
+
+
+def test_phase3_quality_gain(topo64):
+    """Not a timing bench: records that the release pass never hurts
+    average path length (strict improvement is topology-dependent)."""
+    with_rel = build_down_up_routing(topo64)
+    without = build_down_up_routing(topo64, apply_phase3=False)
+    assert with_rel.average_path_length() <= without.average_path_length() + 1e-12
+
+
+@pytest.mark.parametrize("release", [True, False], ids=["release", "no-release"])
+def test_lturn_release_ablation(benchmark, topo64, release):
+    routing = benchmark.pedantic(
+        lambda: build_l_turn_routing(topo64, apply_release=release),
+        rounds=1,
+        iterations=1,
+    )
+    assert routing.topology is topo64
+
+
+@pytest.mark.parametrize(
+    "strategy", ["smallest-id", "max-degree", "center"]
+)
+def test_root_strategy_ablation(benchmark, topo64, strategy):
+    """Root selection (the paper fixes smallest-id; the up*/down*
+    literature prefers well-connected or central roots)."""
+    from repro.core.coordinated_tree import choose_root
+
+    def run():
+        root = choose_root(topo64, strategy)
+        tree = build_coordinated_tree(topo64, root=root)
+        routing = build_down_up_routing(topo64, tree=tree)
+        return static_utilization_report(routing, tree)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0 < report["hot_spot_degree"] < 100
+
+
+@pytest.mark.parametrize("mode", ["adaptive", "deterministic"])
+def test_adaptivity_ablation(benchmark, topo64, mode):
+    """Adaptive vs deterministic candidate sets (related work [6])."""
+    from repro.simulator import SimulationConfig, simulate
+
+    routing = build_down_up_routing(topo64)
+    if mode == "deterministic":
+        routing = routing.deterministic(rng=1)
+    cfg = SimulationConfig(
+        packet_length=16, injection_rate=1.0,
+        warmup_clocks=400, measure_clocks=1_500, seed=9,
+    )
+    stats = benchmark.pedantic(
+        lambda: simulate(routing, cfg), rounds=1, iterations=1
+    )
+    assert stats.accepted_traffic > 0

@@ -1,0 +1,71 @@
+"""Benchmarks: routing-construction cost at the paper's full scale.
+
+The paper gives ``cycle_detection`` an ``O(d * |V|^2)`` bound; these
+benches measure the real cost of every construction stage on
+128-switch networks (both port configurations), so regressions in the
+algorithmic layers are caught independently of the simulator.
+"""
+
+import pytest
+
+from repro.core.communication_graph import CommunicationGraph
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.core.cycle_detection import release_redundant_turns
+from repro.core.downup import build_down_up_routing, down_up_turn_model
+from repro.routing.lturn import build_l_turn_routing
+from repro.routing.table import build_routing_function
+from repro.routing.updown import build_up_down_routing
+from repro.topology.generator import random_irregular_topology
+
+
+def test_topology_generation_128(benchmark):
+    topo = benchmark(random_irregular_topology, 128, 8, 7)
+    assert topo.is_connected()
+
+
+def test_coordinated_tree_128(benchmark, topo128):
+    tree = benchmark(build_coordinated_tree, topo128)
+    assert tree.depth >= 1
+
+
+def test_communication_graph_128(benchmark, topo128):
+    tree = build_coordinated_tree(topo128)
+    cg = benchmark(CommunicationGraph.from_tree, tree)
+    assert len(cg.direction) == topo128.num_channels
+
+
+def test_cycle_detection_128(benchmark, topo128):
+    """Phase 3 alone (the O(d |V|^2) stage)."""
+    tree = build_coordinated_tree(topo128)
+    cg = CommunicationGraph.from_tree(tree)
+
+    def run():
+        tm = down_up_turn_model(cg, apply_phase3=False)
+        return release_redundant_turns(tm)
+
+    releases = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert isinstance(releases, list)
+
+
+def test_routing_tables_128(benchmark, topo128):
+    tree = build_coordinated_tree(topo128)
+    cg = CommunicationGraph.from_tree(tree)
+    tm = down_up_turn_model(cg)
+    routing = benchmark.pedantic(
+        lambda: build_routing_function(tm, "down-up"), rounds=2, iterations=1
+    )
+    assert routing.dist.shape == (128, topo128.num_channels)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [build_down_up_routing, build_l_turn_routing, build_up_down_routing],
+    ids=["down-up", "l-turn", "up-down"],
+)
+def test_end_to_end_construction_128_8port(benchmark, topo128_8p, builder):
+    """Full verified construction (tree + turns + tables + Theorem-1
+    checks) on the paper's largest configuration."""
+    routing = benchmark.pedantic(
+        lambda: builder(topo128_8p), rounds=1, iterations=1
+    )
+    assert routing.topology.n == 128

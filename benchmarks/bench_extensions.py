@@ -1,0 +1,59 @@
+"""Benchmarks for the extension subsystems: VCs and Duato routing.
+
+Not part of the paper's evaluation proper; these cover the "with (or
+without) any virtual channel" claim and the related-work [8] style
+two-layer routing, and keep the VC engine's cost visible.
+"""
+
+import pytest
+
+from repro.core.downup import build_down_up_routing
+from repro.routing.duato import build_duato_routing
+from repro.simulator import SimulationConfig, simulate_vc
+from repro.topology.generator import random_irregular_topology
+
+
+@pytest.fixture(scope="module")
+def vc_setup():
+    topo = random_irregular_topology(32, 4, rng=17)
+    return topo, build_down_up_routing(topo)
+
+
+def _cfg(rate=1.0):
+    return SimulationConfig(
+        packet_length=16,
+        injection_rate=rate,
+        warmup_clocks=500,
+        measure_clocks=2_000,
+        seed=17,
+    )
+
+
+@pytest.mark.parametrize("vcs", [1, 2, 4], ids=lambda v: f"{v}vc")
+def test_vc_engine_saturated(benchmark, vc_setup, vcs):
+    _topo, routing = vc_setup
+    stats = benchmark.pedantic(
+        lambda: simulate_vc(routing, _cfg(), num_vcs=vcs),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats.accepted_traffic > 0
+
+
+def test_duato_saturated(benchmark, vc_setup):
+    topo, routing = vc_setup
+    duato = build_duato_routing(topo, escape=routing)
+    stats = benchmark.pedantic(
+        lambda: simulate_vc(duato, _cfg(), num_vcs=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats.accepted_traffic > 0
+
+
+def test_vcs_increase_saturation_throughput(vc_setup):
+    """Quality record (not a timing bench): 2 VCs beat 1 VC at saturation."""
+    _topo, routing = vc_setup
+    one = simulate_vc(routing, _cfg(), num_vcs=1)
+    two = simulate_vc(routing, _cfg(), num_vcs=2)
+    assert two.accepted_traffic >= one.accepted_traffic

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 8 (latency vs accepted traffic).
+
+``test_figure8a`` regenerates Figure 8(a) (4-port) and
+``test_figure8b`` Figure 8(b) (8-port) at the ``tiny`` preset — the
+same sweep/aggregation code the ``paper`` preset runs for the archival
+numbers.  Each bench asserts the curves have the paper's qualitative
+shape (latency grows with accepted traffic; DOWN/UP saturates at or
+above L-turn under M1) before reporting the timing.
+"""
+
+from repro.experiments.figure8 import run_figure8
+
+
+def _check(result):
+    for name, pts in result.series.items():
+        assert pts, f"empty series {name}"
+        # latency at the highest load >= latency at the lowest load
+        assert pts[-1][1] >= pts[0][1] * 0.8
+    du = result.saturation_throughput("down-up/M1")
+    lt = result.saturation_throughput("l-turn/M1")
+    assert du >= 0.8 * lt  # qualitative: DOWN/UP >= L-turn (noise margin)
+
+
+def test_figure8a_4port(benchmark, tiny_preset):
+    result = benchmark.pedantic(
+        lambda: run_figure8(tiny_preset, ports=4),
+        rounds=1,
+        iterations=1,
+    )
+    _check(result)
+
+
+def test_figure8b_8port(benchmark, tiny_preset):
+    preset = tiny_preset.scaled(ports=(8,))
+    result = benchmark.pedantic(
+        lambda: run_figure8(preset, ports=8),
+        rounds=1,
+        iterations=1,
+    )
+    _check(result)

@@ -1,0 +1,63 @@
+"""Benchmarks: adaptive output-selection policies and traffic patterns.
+
+Ablations over the engine's selection policy (the paper specifies
+random selection among free minimal candidates) and over the traffic
+patterns the extension studies use.
+"""
+
+import pytest
+
+from repro.core.downup import build_down_up_routing
+from repro.simulator import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    LocalTraffic,
+    SimulationConfig,
+    TornadoTraffic,
+    UniformTraffic,
+    simulate,
+)
+from repro.topology.generator import random_irregular_topology
+
+
+@pytest.fixture(scope="module")
+def setup32():
+    topo = random_irregular_topology(32, 4, rng=23)
+    return topo, build_down_up_routing(topo)
+
+
+@pytest.mark.parametrize("policy", ["random", "first", "least-congested"])
+def test_selection_policy(benchmark, setup32, policy):
+    _topo, routing = setup32
+    cfg = SimulationConfig(
+        packet_length=16, injection_rate=1.0,
+        warmup_clocks=500, measure_clocks=2_000, seed=3,
+        selection_policy=policy,
+    )
+    stats = benchmark.pedantic(
+        lambda: simulate(routing, cfg), rounds=1, iterations=1
+    )
+    assert stats.accepted_traffic > 0
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    ["uniform", "hotspot", "tornado", "local", "bitcomp"],
+)
+def test_traffic_pattern(benchmark, setup32, pattern):
+    topo, routing = setup32
+    traffic = {
+        "uniform": lambda: UniformTraffic(topo.n),
+        "hotspot": lambda: HotspotTraffic(topo.n, hotspots=[0], fraction=0.2),
+        "tornado": lambda: TornadoTraffic(topo.n),
+        "local": lambda: LocalTraffic(topo.n, radius=3),
+        "bitcomp": lambda: BitComplementTraffic(topo.n),
+    }[pattern]()
+    cfg = SimulationConfig(
+        packet_length=16, injection_rate=0.3,
+        warmup_clocks=500, measure_clocks=2_000, seed=4,
+    )
+    stats = benchmark.pedantic(
+        lambda: simulate(routing, cfg, traffic), rounds=1, iterations=1
+    )
+    assert stats.accepted_traffic > 0

@@ -1,0 +1,62 @@
+"""Benchmarks: wormhole-engine throughput.
+
+Reports simulated clocks/second (and flit-events implicitly) across
+network sizes and loads, the number that determines how expensive the
+``paper`` preset is.  These are the profiling targets the optimization
+guides say to watch before tuning anything.
+"""
+
+import pytest
+
+from repro.core.downup import build_down_up_routing
+from repro.simulator import SimulationConfig, WormholeSimulator
+from repro.topology.generator import random_irregular_topology
+
+
+def _run(routing, rate, clocks, length=16):
+    cfg = SimulationConfig(
+        packet_length=length,
+        injection_rate=rate,
+        warmup_clocks=0,
+        measure_clocks=clocks,
+        seed=1,
+    )
+    sim = WormholeSimulator(routing, cfg)
+    sim.stats.active = True
+    for _ in range(clocks):
+        sim.step()
+        sim.stats.window_clocks += 1
+    return sim.stats.finalize(0)
+
+
+@pytest.mark.parametrize("n", [16, 32, 64], ids=lambda n: f"{n}sw")
+def test_engine_light_load(benchmark, n):
+    topo = random_irregular_topology(n, 4, rng=n)
+    routing = build_down_up_routing(topo)
+    stats = benchmark.pedantic(
+        lambda: _run(routing, rate=0.05, clocks=2_000), rounds=2, iterations=1
+    )
+    assert stats.accepted_traffic > 0
+
+
+@pytest.mark.parametrize("n", [16, 32, 64], ids=lambda n: f"{n}sw")
+def test_engine_saturated(benchmark, n):
+    topo = random_irregular_topology(n, 4, rng=n)
+    routing = build_down_up_routing(topo)
+    stats = benchmark.pedantic(
+        lambda: _run(routing, rate=1.0, clocks=2_000), rounds=2, iterations=1
+    )
+    assert stats.accepted_traffic > 0
+
+
+def test_engine_paper_scale_slice(benchmark):
+    """A short slice of the paper configuration (128 switches, 8 ports,
+    128-flit packets) — the per-clock cost that dominates archival runs."""
+    topo = random_irregular_topology(128, 8, rng=0)
+    routing = build_down_up_routing(topo)
+    stats = benchmark.pedantic(
+        lambda: _run(routing, rate=0.3, clocks=1_000, length=128),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats.offered_traffic > 0

@@ -1,0 +1,48 @@
+"""Benchmarks: regenerate Tables 1-4 (one bench per paper table).
+
+The four tables are measured in the same saturated-source regime the
+paper uses; each bench regenerates its table at the ``tiny`` preset via
+exactly the code path the ``midscale``/``paper`` presets use, prints
+the paper-layout table (visible with ``-s``), and asserts the paper's
+winner (Remark 2: DOWN/UP) on the metric.
+
+Four separate benches (rather than one) so ``pytest benchmarks/
+--benchmark-only -k table3`` regenerates exactly one paper artefact.
+"""
+
+from repro.experiments.report import render_paper_table
+from repro.experiments.tables import run_tables
+
+
+def _bench_table(benchmark, preset, metric, smaller_better):
+    def regenerate():
+        result = run_tables(preset, methods=("M1",))
+        return result, render_paper_table(
+            result, metric, ("l-turn", "down-up"), preset.ports, ("M1",)
+        )
+
+    result, text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + text)
+    du = result.value(metric, "down-up", "M1", preset.ports[0])
+    lt = result.value(metric, "l-turn", "M1", preset.ports[0])
+    # qualitative check with a noise margin (tiny preset = 1 small sample)
+    if smaller_better:
+        assert du <= lt * 1.5
+    else:
+        assert du >= lt * 0.6
+
+
+def test_table1_node_utilization(benchmark, tiny_preset):
+    _bench_table(benchmark, tiny_preset, "node_utilization", smaller_better=False)
+
+
+def test_table2_traffic_load(benchmark, tiny_preset):
+    _bench_table(benchmark, tiny_preset, "traffic_load", smaller_better=True)
+
+
+def test_table3_hot_spots(benchmark, tiny_preset):
+    _bench_table(benchmark, tiny_preset, "hot_spot_degree", smaller_better=True)
+
+
+def test_table4_leaves_utilization(benchmark, tiny_preset):
+    _bench_table(benchmark, tiny_preset, "leaves_utilization", smaller_better=False)

@@ -1,0 +1,42 @@
+"""Benchmark fixtures.
+
+Benchmarks regenerate the paper's tables and figures at the ``tiny``
+or ``quick`` preset (identical code paths to the full-scale runs; see
+``python -m repro.experiments`` for archival-scale regeneration) and
+measure the cost of the library's construction and simulation stages.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.configs import get_preset
+from repro.topology.generator import random_irregular_topology
+
+
+@pytest.fixture(scope="session")
+def tiny_preset():
+    return get_preset("tiny")
+
+
+@pytest.fixture(scope="session")
+def quick_preset():
+    # trimmed quick preset: 4-port only, M1-M3, 1 sample per bench round
+    return get_preset("quick").scaled(samples=1)
+
+
+@pytest.fixture(scope="session")
+def topo64():
+    return random_irregular_topology(64, 4, rng=64)
+
+
+@pytest.fixture(scope="session")
+def topo128():
+    return random_irregular_topology(128, 4, rng=128)
+
+
+@pytest.fixture(scope="session")
+def topo128_8p():
+    return random_irregular_topology(128, 8, rng=128)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Statistical rigor on top of the paper's tables.
+
+The paper reports plain means over its random samples.  This example
+re-runs the Tables-1-4 campaign at a small scale and shows what the
+library's statistics layer adds:
+
+* 95% confidence intervals per table cell;
+* *paired* comparisons of DOWN/UP vs L-turn per cell — pairing by test
+  sample (both algorithms share each sample's topology and coordinated
+  tree) cancels the topology-to-topology variance, which is exactly why
+  the paper's "same coordinated tree" methodology is the right one.
+
+Run:  python examples/confidence_intervals.py [samples]
+"""
+
+import sys
+
+from repro.experiments.configs import get_preset
+from repro.experiments.statistics import (
+    paired_table_comparison,
+    summarize_table_result,
+)
+from repro.experiments.tables import TABLE_METRICS, run_tables
+from repro.util.tables import format_table
+
+
+def main(samples: int = 4) -> None:
+    preset = get_preset("tiny").scaled(
+        samples=samples, n_switches=24, ports=(4,),
+        warmup_clocks=800, measure_clocks=2_500,
+    )
+    print(
+        f"== saturated table campaign: {preset.n_switches} switches, "
+        f"{samples} samples, 4-port"
+    )
+    result = run_tables(preset, methods=("M1",), progress=None)
+    summaries = summarize_table_result(result.raw)
+
+    rows = []
+    for metric in sorted(TABLE_METRICS, key=lambda m: TABLE_METRICS[m][0]):
+        du = summaries[(metric, "down-up", "M1", 4)]
+        lt = summaries[(metric, "l-turn", "M1", 4)]
+        cmp = paired_table_comparison(result.raw, metric, "down-up", "l-turn")[
+            ("M1", 4)
+        ]
+        rows.append(
+            [
+                f"T{TABLE_METRICS[metric][0]} {metric}",
+                f"{lt.mean:.4g} ± {lt.half_width:.2g}",
+                f"{du.mean:.4g} ± {du.half_width:.2g}",
+                f"{cmp.mean_difference:+.4g} ± {cmp.half_width:.2g}",
+                "yes" if cmp.significant else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["metric", "l-turn (95% CI)", "down-up (95% CI)",
+             "paired Δ (du - lt)", "significant?"],
+            rows,
+        )
+    )
+    print(
+        "\nNote how the paired Δ interval is far tighter than the two\n"
+        "per-algorithm intervals would suggest: per-sample topology noise\n"
+        "is common to both arms and cancels.  For hot spots and traffic\n"
+        "load a *negative* Δ favours DOWN/UP; for the utilizations a\n"
+        "positive one does."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

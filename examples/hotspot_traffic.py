@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Extension study: DOWN/UP vs baselines under *hotspot* traffic.
+
+The paper evaluates only uniform traffic, but its whole motivation is
+hot-spot formation (Pfister & Norton).  This example stresses the
+algorithms with an explicit hotspot pattern — a fraction of all packets
+targets the switches nearest the root — and reports throughput, latency
+and the hot-spot degree.  The tree-aware DOWN/UP keeps more of the
+remaining (background) traffic away from the top of the tree, so its
+advantage typically widens relative to the uniform-traffic results.
+
+Run:  python examples/hotspot_traffic.py [fraction]
+"""
+
+import sys
+
+from repro import build_down_up_routing, build_l_turn_routing, build_up_down_routing
+from repro import random_irregular_topology
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.metrics.utilization import utilization_report
+from repro.simulator import HotspotTraffic, SimulationConfig, simulate
+from repro.util.tables import format_table
+
+
+def main(fraction: float = 0.25) -> None:
+    topo = random_irregular_topology(32, 4, rng=13)
+    tree = build_coordinated_tree(topo)
+    # hotspots: the root's children (level 1) — the paper's hot zone
+    hotspots = tree.level_nodes(1)[:2]
+    print(
+        f"== {topo}; hotspot switches {hotspots} receive an extra "
+        f"{fraction:.0%} of traffic"
+    )
+    traffic = HotspotTraffic(topo.n, hotspots=hotspots, fraction=fraction)
+    cfg = SimulationConfig(
+        packet_length=32,
+        injection_rate=1.0,  # saturated sources: measures max throughput
+        warmup_clocks=2_000,
+        measure_clocks=8_000,
+        seed=13,
+    )
+    rows = []
+    for build in (
+        build_down_up_routing,
+        build_l_turn_routing,
+        build_up_down_routing,
+    ):
+        r = build(topo, tree=tree)
+        st = simulate(r, cfg, traffic)
+        rep = utilization_report(st.channel_utilization(), tree)
+        rows.append(
+            [
+                r.name,
+                round(st.accepted_traffic, 4),
+                round(st.average_latency, 1),
+                round(rep["hot_spot_degree"], 2),
+                round(rep["traffic_load"], 4),
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "throughput", "latency", "hot spots %", "traffic load"],
+            rows,
+        )
+    )
+    print(
+        "\nNote: all algorithms suffer under hotspot traffic (the hotspot\n"
+        "switches' consumption ports are the bottleneck), but the ordering\n"
+        "of the hot-spot degree column should match the paper's uniform-\n"
+        "traffic result: down-up < l-turn <= up-down."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Extension: how gracefully does each algorithm absorb link failures?
+
+Tree-based routing recomputes on whatever graph survives — that is its
+selling point for NOW clusters.  This example degrades one irregular
+network link by link (never disconnecting it), rebuilds DOWN/UP,
+L-turn and up*/down* on every instance, and tracks mean path length,
+adaptivity and the static hot-spot degree.  Every rebuilt routing
+passes the Theorem-1 verification, so this doubles as a fault-model
+stress test.
+
+Run:  python examples/link_failures.py [max_failures]
+"""
+
+import sys
+
+from repro import random_irregular_topology
+from repro.analysis.resilience import resilience_study
+from repro.core.downup import build_down_up_routing
+from repro.routing.lturn import build_l_turn_routing
+from repro.routing.updown import build_up_down_routing
+from repro.util.tables import format_table
+
+
+def main(max_failures: int = 8) -> None:
+    topo = random_irregular_topology(32, 4, rng=21)
+    print(
+        f"== degrading {topo} up to {max_failures} failed links "
+        f"(connectivity preserved)"
+    )
+    counts = list(range(0, max_failures + 1, 2))
+    study = resilience_study(
+        topo,
+        {
+            "down-up": build_down_up_routing,
+            "l-turn": build_l_turn_routing,
+            "up-down": build_up_down_routing,
+        },
+        counts,
+        rng=3,
+    )
+    for metric, getter in (
+        ("mean path length", lambda p: round(p.mean_path, 3)),
+        ("adaptivity", lambda p: round(p.adaptivity, 3)),
+        ("hot-spot degree (%)", lambda p: round(p.hot_spot_degree, 2)),
+    ):
+        rows = []
+        for name, points in study.items():
+            rows.append([name] + [getter(p) for p in points])
+        print()
+        print(
+            format_table(
+                ["algorithm"] + [f"{k} fail" for k in counts],
+                rows,
+                title=metric,
+            )
+        )
+    print(
+        "\nEvery rebuilt routing was machine-verified deadlock-free and\n"
+        "connected. Expect paths to stretch and adaptivity to fall as\n"
+        "links die, with DOWN/UP retaining the lowest hot-spot share."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Packet forensics: where do the slowest packets lose their time?
+
+Aggregate latency curves say *that* L-turn is slower than DOWN/UP near
+saturation; per-packet traces say *why*.  This example attaches a
+:class:`~repro.simulator.trace.TraceRecorder` to a loaded run of each
+algorithm, pulls out the slowest delivered packets, and decomposes
+their life into source queueing, per-hop stalls and drain time —
+showing that the extra latency concentrates in a few hops near the top
+of the coordinated tree.
+
+Run:  python examples/packet_forensics.py [seed]
+"""
+
+import sys
+
+from repro import random_irregular_topology
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.core.downup import build_down_up_routing
+from repro.routing.lturn import build_l_turn_routing
+from repro.simulator import SimulationConfig, TraceRecorder, WormholeSimulator
+from repro.util.tables import format_table
+
+
+def worst_packets(tracer, k=5):
+    finished = [t for t in tracer if t.network_time() is not None]
+    return sorted(finished, key=lambda t: -(t.network_time() or 0))[:k]
+
+
+def main(seed: int = 11) -> None:
+    topo = random_irregular_topology(32, 4, rng=seed)
+    tree = build_coordinated_tree(topo)
+    cfg = SimulationConfig(
+        packet_length=32,
+        injection_rate=0.14,  # near saturation for this size
+        warmup_clocks=2_000,
+        measure_clocks=6_000,
+        seed=seed,
+    )
+    for build in (build_down_up_routing, build_l_turn_routing):
+        routing = build(topo, tree=tree)
+        sim = WormholeSimulator(routing, cfg)
+        sim.tracer = TraceRecorder(max_packets=50_000)
+        stats = sim.run()
+        summary = sim.tracer.summary()
+        print(
+            f"\n== {routing.name}: accepted={stats.accepted_traffic:.4f}, "
+            f"mean wait={summary['mean_wait']:.1f}, "
+            f"mean network time={summary['mean_network_time']:.1f}"
+        )
+        rows = []
+        for t in worst_packets(sim.tracer):
+            hops = t.per_hop_delays()
+            # switch levels along the path (sinks of traversed channels)
+            levels = [tree.y[topo.channel(c).sink] for c in t.path()]
+            worst_hop = max(range(len(hops)), key=lambda i: hops[i]) if hops else -1
+            rows.append(
+                [
+                    f"{t.src}->{t.dst}",
+                    t.waiting_time(),
+                    t.network_time(),
+                    len(t.path()),
+                    " ".join(str(d) for d in hops),
+                    levels[worst_hop] if hops else "-",
+                ]
+            )
+        print(
+            format_table(
+                ["packet", "queue wait", "net time", "hops",
+                 "per-hop delays (clocks)", "worst-hop level"],
+                rows,
+                title="five slowest delivered packets",
+            )
+        )
+    print(
+        "\nReading: an unloaded hop costs 3 clocks; larger entries are\n"
+        "contention stalls.  Near saturation L-turn's worst stalls sit at\n"
+        "low tree levels (the root hot spot); DOWN/UP spreads them deeper."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 11)

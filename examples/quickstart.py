@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Quickstart: build, verify and simulate the DOWN/UP routing.
+
+Walks the paper's whole pipeline on one random irregular network:
+
+1. sample a 32-switch, 4-port irregular topology;
+2. build the coordinated tree (M1) and the DOWN/UP routing (Phases
+   1-3) plus the L-turn and up*/down* baselines on the *same* tree;
+3. machine-check Theorem 1 (deadlock freedom + connectivity);
+4. run the wormhole simulator at a moderate load and at saturation;
+5. print the Section-5 metrics for each algorithm.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import (
+    build_down_up_routing,
+    build_l_turn_routing,
+    build_up_down_routing,
+    build_coordinated_tree,
+    random_irregular_topology,
+)
+from repro.metrics.saturation import measure_at_saturation
+from repro.metrics.utilization import utilization_report
+from repro.simulator import SimulationConfig, simulate
+from repro.util.tables import format_table
+
+
+def main(seed: int = 7) -> None:
+    print(f"== sampling a 32-switch 4-port irregular network (seed={seed})")
+    topo = random_irregular_topology(n=32, ports=4, rng=seed)
+    print(f"   {topo}: {topo.num_links} links, {topo.num_channels} channels")
+
+    tree = build_coordinated_tree(topo)  # M1: the paper's Phase-1 method
+    print(f"   coordinated tree: depth={tree.depth}, {len(tree.leaves())} leaves")
+
+    print("== building routing functions (each is verified deadlock-free)")
+    routings = [
+        build_down_up_routing(topo, tree=tree),
+        build_l_turn_routing(topo, tree=tree),
+        build_up_down_routing(topo, tree=tree),
+    ]
+    for r in routings:
+        print(
+            f"   {r.name:12s} avg shortest path = "
+            f"{r.average_path_length():.3f} hops"
+        )
+
+    print("== simulating at offered load 0.08 flits/clock/node")
+    cfg = SimulationConfig(
+        packet_length=32,
+        injection_rate=0.08,
+        warmup_clocks=2_000,
+        measure_clocks=6_000,
+        seed=seed,
+    )
+    rows = []
+    for r in routings:
+        st = simulate(r, cfg)
+        rows.append(
+            [r.name, round(st.accepted_traffic, 4), round(st.average_latency, 1),
+             round(st.average_hops, 2)]
+        )
+    print(format_table(["algorithm", "accepted", "latency", "hops"], rows))
+
+    print("== measuring at saturation (Tables 1-4 regime)")
+    rows = []
+    for r in routings:
+        st = measure_at_saturation(r, cfg)
+        rep = utilization_report(st.channel_utilization(), tree)
+        rows.append(
+            [
+                r.name,
+                round(st.accepted_traffic, 4),
+                round(rep["node_utilization"], 4),
+                round(rep["traffic_load"], 4),
+                round(rep["hot_spot_degree"], 2),
+                round(rep["leaves_utilization"], 4),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "algorithm",
+                "max throughput",
+                "node util",
+                "traffic load",
+                "hot spots %",
+                "leaves util",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape (paper Remark 2): down-up beats l-turn on every "
+        "column; up-down trails both."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

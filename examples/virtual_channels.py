@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Extension: virtual channels on top of DOWN/UP (paper §4, related work [8]).
+
+The paper notes DOWN/UP "can be directly applied to arbitrary topology
+with (or without) any virtual channel"; its related work (Silla &
+Duato) builds high-performance irregular routing from an adaptive layer
+plus a deadlock-free escape layer on dedicated VCs.  This example
+measures both on one network:
+
+* ``replicate`` — DOWN/UP on 1, 2 and 4 VCs (same turn restrictions,
+  VCs only relieve head-of-line blocking);
+* ``duato`` — fully adaptive minimal routing on VCs 1..V-1 with a
+  DOWN/UP (or up*/down*) escape on VC 0.
+
+Run:  python examples/virtual_channels.py [seed]
+"""
+
+import sys
+
+from repro import random_irregular_topology
+from repro.core.downup import build_down_up_routing
+from repro.routing.duato import build_duato_routing
+from repro.simulator import SimulationConfig, simulate, simulate_vc
+from repro.util.tables import format_table
+
+
+def main(seed: int = 5) -> None:
+    topo = random_irregular_topology(32, 4, rng=seed)
+    down_up = build_down_up_routing(topo)
+    duato_du = build_duato_routing(topo, escape=down_up)
+    duato_ud = build_duato_routing(topo, escape="up-down")
+
+    cfg = SimulationConfig(
+        packet_length=32,
+        injection_rate=1.0,  # saturated: measures max throughput
+        warmup_clocks=2_000,
+        measure_clocks=6_000,
+        seed=seed,
+    )
+
+    rows = []
+    base = simulate(down_up, cfg)
+    rows.append(["down-up (no VCs)", 1, round(base.accepted_traffic, 4),
+                 round(base.average_latency, 1)])
+    for vcs in (2, 4):
+        st = simulate_vc(down_up, cfg, num_vcs=vcs)
+        rows.append([f"down-up x{vcs} VCs", vcs,
+                     round(st.accepted_traffic, 4),
+                     round(st.average_latency, 1)])
+    for name, d in (("duato/down-up escape", duato_du),
+                    ("duato/up-down escape", duato_ud)):
+        st = simulate_vc(d, cfg, num_vcs=2)
+        rows.append([name, 2, round(st.accepted_traffic, 4),
+                     round(st.average_latency, 1)])
+
+    print(f"== saturated throughput on {topo}")
+    print(format_table(["configuration", "VCs", "throughput", "latency"], rows))
+    print(
+        "\nExpected shape: throughput grows with VC count (head-of-line\n"
+        "relief), and the Duato adaptive+escape pairing competes with or\n"
+        "beats plain replication at equal VC count."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

@@ -1,0 +1,9 @@
+#!/bin/bash
+# Experiment campaign for EXPERIMENTS.md.
+set -x
+cd /root/repo
+python -m repro.experiments static-tables --preset paper --quiet --out results/paper_static  > results/paper_static.log 2>&1
+python -m repro.experiments tables --preset midscale --quiet --out results/midscale_tables > results/midscale_tables.log 2>&1
+python -m repro.experiments figure8 --preset midscale --ports 4 --quiet --out results/midscale_fig8 > results/midscale_fig8_4p.log 2>&1
+python -m repro.experiments figure8 --preset midscale --ports 8 --quiet --out results/midscale_fig8 > results/midscale_fig8_8p.log 2>&1
+echo CAMPAIGN_DONE

@@ -1,0 +1,7 @@
+#!/bin/bash
+set -x
+cd /root/repo
+python -m repro.experiments tables --preset paperlite --quiet --out results/paperlite_tables > results/paperlite_tables.log 2>&1
+python -m repro.experiments figure8 --preset paperlite --ports 4 --quiet --out results/paperlite_fig8 > results/paperlite_fig8_4p.log 2>&1
+python -m repro.experiments figure8 --preset paperlite --ports 8 --quiet --out results/paperlite_fig8 > results/paperlite_fig8_8p.log 2>&1
+echo CAMPAIGN2_DONE

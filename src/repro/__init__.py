@@ -1,0 +1,82 @@
+"""repro — a full reproduction of the DOWN/UP routing paper (ICPP 2004).
+
+Sun, Yang, Chung & Huang, *"An Efficient Deadlock-Free Tree-Based
+Routing Algorithm for Irregular Wormhole-Routed Networks Based on the
+Turn Model"*, ICPP 2004.
+
+The package provides, as libraries:
+
+* :mod:`repro.topology` — irregular switch-network model and generator;
+* :mod:`repro.core` — the DOWN/UP construction (coordinated trees,
+  communication graphs, the maximal-ADDG Phase 2, Phase-3 releases);
+* :mod:`repro.routing` — turn models, routing tables, the up*/down*,
+  L-turn and Left-Right baselines, and machine verification of
+  deadlock freedom and connectivity;
+* :mod:`repro.simulator` — a cycle-accurate flit-level wormhole
+  simulator equivalent to the paper's IRFlexSim0.5 substrate;
+* :mod:`repro.metrics` / :mod:`repro.analysis` — the evaluation
+  metrics (node utilization, traffic load, hot spots, leaves
+  utilization, latency/accepted traffic) and a fast static path
+  analysis;
+* :mod:`repro.experiments` — one harness entry per paper table/figure.
+
+Quickstart::
+
+    from repro import (
+        random_irregular_topology, build_down_up_routing,
+        build_l_turn_routing,
+    )
+    topo = random_irregular_topology(n=32, ports=4, rng=7)
+    down_up = build_down_up_routing(topo)      # verified deadlock-free
+    l_turn = build_l_turn_routing(topo)
+    print(down_up.average_path_length(), l_turn.average_path_length())
+
+See ``examples/`` for runnable end-to-end scenarios.
+"""
+
+from repro.topology import (
+    Topology,
+    random_irregular_topology,
+    topology_from_json,
+    topology_to_json,
+)
+from repro.core import (
+    CommunicationGraph,
+    CoordinatedTree,
+    Direction,
+    TreeMethod,
+    build_coordinated_tree,
+    build_down_up_routing,
+    DOWN_UP_PROHIBITED_TURNS,
+)
+from repro.routing import (
+    RoutingFunction,
+    TurnModel,
+    build_l_turn_routing,
+    build_left_right_routing,
+    build_up_down_routing,
+    verify_routing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Topology",
+    "random_irregular_topology",
+    "topology_from_json",
+    "topology_to_json",
+    "CommunicationGraph",
+    "CoordinatedTree",
+    "Direction",
+    "TreeMethod",
+    "build_coordinated_tree",
+    "build_down_up_routing",
+    "DOWN_UP_PROHIBITED_TURNS",
+    "RoutingFunction",
+    "TurnModel",
+    "build_l_turn_routing",
+    "build_left_right_routing",
+    "build_up_down_routing",
+    "verify_routing",
+    "__version__",
+]

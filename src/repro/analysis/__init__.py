@@ -1,0 +1,34 @@
+"""Static path analysis — a fast, closed-form cross-check.
+
+The flit-level simulator is the ground truth for contention effects, but
+the *shape* of the paper's Tables 1-4 is already visible in the expected
+channel loads of uniform traffic routed over the admissible shortest
+paths.  :func:`expected_channel_load` computes those loads exactly (no
+simulation, no sampling) in ``O(|V| * |C|)``, which lets the harness run
+the table metrics at the paper's full 128-switch scale in seconds and
+compare them against the simulated mid-scale numbers.
+"""
+
+from repro.analysis.static_load import (
+    expected_channel_load,
+    static_utilization_report,
+)
+from repro.analysis.bounds import ThroughputBound, throughput_upper_bound
+from repro.analysis.latency_model import LatencyModel, build_latency_model
+from repro.analysis.resilience import (
+    ResiliencePoint,
+    degrade_topology,
+    resilience_study,
+)
+
+__all__ = [
+    "expected_channel_load",
+    "static_utilization_report",
+    "ThroughputBound",
+    "throughput_upper_bound",
+    "LatencyModel",
+    "build_latency_model",
+    "ResiliencePoint",
+    "degrade_topology",
+    "resilience_study",
+]

@@ -1,0 +1,82 @@
+"""Analytic throughput bounds from static channel loads.
+
+Under uniform traffic at offered load ``λ`` flits/clock/node, the
+expected flit rate over channel ``c`` is ``λ * load_c / (n - 1)``,
+where ``load_c`` is the expected number of source-destination pairs
+crossing ``c`` (:func:`repro.analysis.static_load.expected_channel_load`
+— the packet-length factors cancel).  Every channel carries at most one
+flit per clock, and so do the per-switch injection and consumption
+ports, giving the saturation bound::
+
+    λ*  <=  min( 1,  (n - 1) / max_c load_c )
+
+This is an *upper* bound — it ignores wormhole blocking, which wastes
+bandwidth by holding idle channels — so the simulator's measured
+saturation throughput must come out at or below it (asserted by the
+tests on every configuration they simulate).
+
+A finding worth recording: the bound does **not** reliably rank the
+algorithms.  DOWN/UP beats L-turn in every simulated configuration, yet
+its single-bottleneck bound is sometimes the lower one — the win comes
+from *where* worms block and how long they hold channels, which no
+static quantity sees.  This is precisely why the paper (and this
+reproduction) evaluates with a flit-level simulator rather than path
+analysis alone; the ratio ``measured / bound`` quantifies how much each
+algorithm loses to blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.static_load import expected_channel_load
+from repro.routing.base import RoutingFunction
+
+
+@dataclass(frozen=True)
+class ThroughputBound:
+    """Saturation-throughput bound and its witnesses."""
+
+    #: the bound λ* in flits/clock/node
+    bound: float
+    #: the bottleneck channel's expected pair-crossings
+    max_channel_load: float
+    #: channel id of the bottleneck
+    bottleneck_channel: int
+    #: True when the 1-flit/clock consumption port, not a network
+    #: channel, is the binding constraint
+    port_limited: bool
+
+    def utilization_of(self, measured_throughput: float) -> float:
+        """measured / bound — the share of the analytic headroom a
+        simulation actually achieved (1.0 = blocking-free ideal)."""
+        if self.bound <= 0:
+            return 0.0
+        return measured_throughput / self.bound
+
+
+def throughput_upper_bound(
+    routing: RoutingFunction,
+    load: Optional[np.ndarray] = None,
+) -> ThroughputBound:
+    """Compute the uniform-traffic saturation bound for *routing*.
+
+    *load* lets callers reuse an already-computed
+    :func:`expected_channel_load` vector.
+    """
+    n = routing.topology.n
+    if n < 2:
+        return ThroughputBound(1.0, 0.0, -1, True)
+    if load is None:
+        load = expected_channel_load(routing)
+    c_max = int(np.argmax(load))
+    max_load = float(load[c_max])
+    if max_load <= 0:
+        return ThroughputBound(1.0, 0.0, c_max, True)
+    channel_bound = (n - 1) / max_load
+    if channel_bound >= 1.0:
+        return ThroughputBound(1.0, max_load, c_max, True)
+    return ThroughputBound(channel_bound, max_load, c_max, False)

@@ -1,0 +1,129 @@
+"""Link-failure resilience study.
+
+Tree-based routing's raison d'être is that it tolerates *arbitrary*
+irregularity — including the irregularity created by faults: after a
+link dies, the algorithms simply recompute on the degraded graph.  This
+module quantifies that story (a natural extension of the paper's
+evaluation):
+
+* :func:`degrade_topology` removes random links while preserving
+  connectivity (links whose removal disconnects the network are never
+  chosen — as in the NOW fault models of the related work);
+* :func:`resilience_study` rebuilds a routing algorithm across
+  increasing failure counts and records mean path length, adaptivity
+  and static hot-spot degree, showing how gracefully each algorithm
+  absorbs damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.static_load import static_utilization_report
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.routing.base import RoutingFunction
+from repro.routing.diagnostics import adaptivity
+from repro.topology.graph import Topology
+from repro.util.rng import RngLike, as_generator
+
+
+def _bridges(topology: Topology) -> set:
+    """All bridge links (links whose removal disconnects the network).
+
+    Definition-direct: drop each link and BFS-check connectivity.
+    ``O(|E| * (|V| + |E|))`` — a few hundred thousand operations at the
+    paper's scale, negligible next to a single simulation run, and
+    immune to the bookkeeping subtleties of iterative Tarjan.
+    """
+    bridges: set = set()
+    adj = {v: set(topology.neighbors(v)) for v in range(topology.n)}
+    for u, v in topology.links:
+        adj[u].discard(v)
+        adj[v].discard(u)
+        # BFS from u; the link is a bridge iff v becomes unreachable
+        seen = {u}
+        stack = [u]
+        while stack and v not in seen:
+            x = stack.pop()
+            for w in adj[x]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        if v not in seen:
+            bridges.add((u, v))
+        adj[u].add(v)
+        adj[v].add(u)
+    return bridges
+
+
+def degrade_topology(
+    topology: Topology, failures: int, rng: RngLike = None
+) -> Topology:
+    """Remove *failures* random non-bridge links, keeping connectivity.
+
+    Bridges are recomputed after every removal (removing a link can turn
+    others into bridges).  Raises ``ValueError`` when fewer than
+    *failures* removable links exist.
+    """
+    gen = as_generator(rng)
+    current = topology
+    for k in range(failures):
+        removable = sorted(set(current.links) - _bridges(current))
+        if not removable:
+            raise ValueError(
+                f"only {k} of {failures} links were removable without "
+                "disconnecting the network"
+            )
+        victim = removable[int(gen.integers(len(removable)))]
+        links = [l for l in current.links if l != victim]
+        current = Topology(current.n, links, ports=current.ports)
+    return current
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """Metrics of one (algorithm, failure count) combination."""
+
+    failures: int
+    mean_path: float
+    adaptivity: float
+    hot_spot_degree: float
+
+
+def resilience_study(
+    topology: Topology,
+    builders: Dict[str, Callable[[Topology], RoutingFunction]],
+    failure_counts: Sequence[int],
+    rng: RngLike = 0,
+) -> Dict[str, List[ResiliencePoint]]:
+    """Rebuild each algorithm on increasingly degraded topologies.
+
+    All algorithms see the *same* degraded instances (paired
+    comparison).  Every rebuilt routing is verified by its builder, so
+    the study doubles as a fault-model stress test of Theorem 1.
+    """
+    gen = as_generator(rng)
+    degraded = {0: topology}
+    worst = max(failure_counts)
+    current = topology
+    for k in range(1, worst + 1):
+        current = degrade_topology(current, 1, gen)
+        degraded[k] = current
+
+    out: Dict[str, List[ResiliencePoint]] = {name: [] for name in builders}
+    for k in failure_counts:
+        topo_k = degraded[k]
+        tree = build_coordinated_tree(topo_k)
+        for name, build in builders.items():
+            routing = build(topo_k)
+            report = static_utilization_report(routing, tree)
+            out[name].append(
+                ResiliencePoint(
+                    failures=k,
+                    mean_path=routing.average_path_length(),
+                    adaptivity=adaptivity(routing),
+                    hot_spot_degree=report["hot_spot_degree"],
+                )
+            )
+    return out

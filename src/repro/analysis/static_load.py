@@ -1,0 +1,83 @@
+"""Expected per-channel load under uniform traffic (exact computation).
+
+Model: every ordered switch pair ``(s, d)`` sends one unit of traffic;
+at each decision point the unit splits *equally* among all admissible
+minimal next channels (the simulator's random tie-break, in
+expectation).  Because the per-destination shortest-path structure is a
+DAG ordered by remaining distance, the split propagates in one pass per
+destination, processing channels by decreasing remaining distance.
+
+``expected_channel_load[c]`` is then the expected number of
+source-destination *pairs* whose packet crosses channel ``c``.  Up to a
+constant factor (injection rate, packet length) this is proportional to
+the channel utilization the simulator measures below saturation, so the
+node-utilization-derived metrics (traffic load, hot spots, leaves) can
+be evaluated on it directly — at full paper scale, in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.coordinated_tree import CoordinatedTree
+from repro.metrics.utilization import utilization_report
+from repro.routing.base import RoutingFunction
+
+
+def expected_channel_load(routing: RoutingFunction) -> np.ndarray:
+    """Expected pair-crossings per channel under uniform traffic.
+
+    For every destination the unit loads of all sources are pushed
+    through the shortest-path DAG; contributions split equally at every
+    adaptive branch.  Exact (no sampling); cost ``O(|V| * |C|)``.
+    """
+    topo = routing.topology
+    n = topo.n
+    total = np.zeros(topo.num_channels, dtype=float)
+    for d in range(n):
+        dist_row = routing.dist[d]
+        nh = routing.next_hops[d]
+        fh = routing.first_hops[d]
+        load = np.zeros(topo.num_channels, dtype=float)
+        for s in range(n):
+            if s == d or not fh[s]:
+                continue
+            share = 1.0 / len(fh[s])
+            for c in fh[s]:
+                load[c] += share
+        # propagate in decreasing remaining distance: a channel's load
+        # is final once every farther channel has been processed.
+        finite = [
+            c
+            for c in range(topo.num_channels)
+            if dist_row[c] != RoutingFunction.UNREACHABLE
+        ]
+        finite.sort(key=lambda c: -int(dist_row[c]))
+        for c in finite:
+            if load[c] == 0.0 or dist_row[c] == 0:
+                continue
+            share = load[c] / len(nh[c])
+            for b in nh[c]:
+                load[b] += share
+        total += load
+    return total
+
+
+def static_utilization_report(
+    routing: RoutingFunction, tree: CoordinatedTree
+) -> Dict[str, float]:
+    """Tables 1-4 metrics on the static load estimate.
+
+    The loads are normalised to mean-1 over the used channels so that
+    the *relative* statistics (traffic load as a fraction, hot-spot
+    percentage, leaves-to-mean ratio) are comparable across algorithms;
+    absolute node-utilization values are only meaningful relative to
+    each other, not against the simulator's flits/clock.
+    """
+    load = expected_channel_load(routing)
+    scale = load.mean()
+    if scale > 0:
+        load = load / scale
+    return utilization_report(load, tree)

@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the DOWN/UP routing construction.
+
+Modules map one-to-one onto the paper's machinery:
+
+``directions``
+    The eight channel direction classes of Definition 5 and the relative
+    node positions of Definition 4.
+``coordinated_tree``
+    BFS coordinated trees with preorder/level coordinates (Definition 2)
+    and the ``M1`` / ``M2`` / ``M3`` child-ordering variants of Section 5.
+``communication_graph``
+    The direction-labelled channel graph (Definition 5).
+``direction_graph``
+    Direction graphs, DDGs/ADDGs, the paper's Phase-2 incremental
+    maximal-ADDG construction, and the canonical 18-turn prohibited set.
+``cycle_detection``
+    Phase 3: per-node release of redundant prohibited turns.
+``downup``
+    Phases 1-3 glued into a verified :class:`~repro.routing.base.RoutingFunction`.
+"""
+
+from repro.core.directions import Direction, RelativePosition, relative_position
+from repro.core.coordinated_tree import (
+    CoordinatedTree,
+    TreeMethod,
+    build_coordinated_tree,
+    choose_root,
+)
+from repro.core.communication_graph import CommunicationGraph
+from repro.core.direction_graph import (
+    DirectionGraph,
+    Turn,
+    build_maximal_addg,
+    DOWN_UP_PROHIBITED_TURNS,
+)
+from repro.core.cycle_detection import release_redundant_turns
+from repro.core.downup import build_down_up_routing
+
+__all__ = [
+    "Direction",
+    "RelativePosition",
+    "relative_position",
+    "CoordinatedTree",
+    "TreeMethod",
+    "build_coordinated_tree",
+    "choose_root",
+    "CommunicationGraph",
+    "DirectionGraph",
+    "Turn",
+    "build_maximal_addg",
+    "DOWN_UP_PROHIBITED_TURNS",
+    "release_redundant_turns",
+    "build_down_up_routing",
+]

@@ -1,0 +1,135 @@
+"""Communication graphs (Definition 5).
+
+The communication graph ``CG = (V, E_vec)`` is the topology's directed
+channel set with every channel labelled by one of the eight
+:class:`~repro.core.directions.Direction` classes relative to a
+coordinated tree.  It is the object on which turns, turn cycles, and the
+per-node prohibited-turn state are defined, and the input both to the
+Phase-3 cycle detection and to routing-table construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.coordinated_tree import CoordinatedTree
+from repro.core.directions import Direction, classify_channel
+from repro.topology.graph import Channel, Topology
+
+
+@dataclass(frozen=True)
+class CommunicationGraph:
+    """A direction-labelled channel graph over a coordinated tree.
+
+    ``direction[cid]`` is the :class:`Direction` of channel ``cid``.
+    Construction validates the labelling (tree channels are exactly the
+    LU_TREE/RD_TREE ones, opposite channels carry opposite directions).
+    """
+
+    tree: CoordinatedTree
+    direction: Tuple[Direction, ...]
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def from_tree(tree: CoordinatedTree) -> "CommunicationGraph":
+        """Label every channel of ``tree.topology`` per Definition 5."""
+        topo = tree.topology
+        labels: List[Direction] = []
+        for ch in topo.channels:
+            labels.append(
+                classify_channel(
+                    tree.coordinate(ch.start),
+                    tree.coordinate(ch.sink),
+                    tree.is_tree_link(ch.start, ch.sink),
+                )
+            )
+        cg = CommunicationGraph(tree=tree, direction=tuple(labels))
+        cg.validate()
+        return cg
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        """The underlying network graph."""
+        return self.tree.topology
+
+    def channel(self, cid: int) -> Channel:
+        """The channel record for id *cid*."""
+        return self.topology.channel(cid)
+
+    def d(self, cid: int) -> Direction:
+        """``d(e)`` — the direction of channel *cid* (paper notation)."""
+        return self.direction[cid]
+
+    def channels_with_direction(self, direction: Direction) -> List[int]:
+        """All channel ids labelled *direction*."""
+        return [c for c, d in enumerate(self.direction) if d is direction]
+
+    def turns_at(self, v: int) -> Iterator[Tuple[int, int]]:
+        """All (input channel, output channel) pairs meeting at switch *v*.
+
+        A pair forms a *turn* (Definition 6) labelled by the directions of
+        the two channels.  U-turns (back onto the same link) are excluded:
+        wormhole switches do not send a worm back out of the port it came
+        in on.
+        """
+        for e_in in self.topology.input_channels(v):
+            for e_out in self.topology.output_channels(v):
+                if e_out != (e_in ^ 1):
+                    yield (e_in, e_out)
+
+    def direction_histogram(self) -> Dict[Direction, int]:
+        """Channel count per direction (useful in tests and reports)."""
+        hist: Dict[Direction, int] = {d: 0 for d in Direction}
+        for d in self.direction:
+            hist[d] += 1
+        return hist
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> None:
+        """Assert labelling invariants implied by Definitions 2-5.
+
+        * a channel is a tree direction iff its link is a tree link;
+        * the two channels of one link carry *opposite* directions
+          (left-up vs right-down, left vs right, ...);
+        * every non-root switch has exactly one ``LU_TREE`` output (to
+          its parent) and one ``RD_TREE`` input (from its parent).
+        """
+        topo = self.topology
+        opposite = {
+            Direction.LU_TREE: Direction.RD_TREE,
+            Direction.RD_TREE: Direction.LU_TREE,
+            Direction.LU_CROSS: Direction.RD_CROSS,
+            Direction.RD_CROSS: Direction.LU_CROSS,
+            Direction.LD_CROSS: Direction.RU_CROSS,
+            Direction.RU_CROSS: Direction.LD_CROSS,
+            Direction.L_CROSS: Direction.R_CROSS,
+            Direction.R_CROSS: Direction.L_CROSS,
+        }
+        for ch in topo.channels:
+            d = self.direction[ch.cid]
+            d_rev = self.direction[ch.reverse_cid]
+            if opposite[d] is not d_rev:
+                raise ValueError(
+                    f"channels of link {ch.link} carry non-opposite "
+                    f"directions {d.name} / {d_rev.name}"
+                )
+            if d.is_tree != self.tree.is_tree_link(ch.start, ch.sink):
+                raise ValueError(
+                    f"channel {ch.cid} direction {d.name} disagrees with "
+                    "its link type"
+                )
+        for v in range(topo.n):
+            if v == self.tree.root:
+                continue
+            ups = [
+                c
+                for c in topo.output_channels(v)
+                if self.direction[c] is Direction.LU_TREE
+            ]
+            if len(ups) != 1 or topo.channel(ups[0]).sink != self.tree.parent[v]:
+                raise ValueError(
+                    f"switch {v} must have exactly one LU_TREE output to "
+                    "its parent"
+                )

@@ -1,0 +1,57 @@
+"""Phase 3 — releasing redundant prohibited turns (Section 4.3).
+
+Applying the global 18-turn prohibited set PT at every switch is overly
+conservative: at many switches a prohibited turn cannot participate in
+any turn cycle of the concrete communication graph (the paper's Figure 7
+example).  The ``cycle_detection`` algorithm walks every switch and, for
+each (input, output) channel pair whose turn is one of the *releasable*
+candidates, releases the turn unless doing so would close a turn cycle.
+
+The paper restricts the candidates to ``T(LU_CROSS -> RD_TREE)`` and
+``T(RU_CROSS -> RD_TREE)`` because (a) only those help push traffic away
+from the root toward the leaves and (b) nearly every switch has an
+``RD_TREE`` output, so these prohibitions are the most numerous in a CG.
+
+The paper's pseudo-code performs an explicit marked-edge DFS from the
+candidate output channel looking for a walk that re-enters the switch on
+the candidate input channel; that is exactly reachability of ``e_in``
+from ``e_out`` in the channel dependency graph.  The engine implementing
+this (shared with the baselines — the paper notes its algorithm is
+"similar to that in [4]") lives in :mod:`repro.routing.release`; this
+module binds it to the DOWN/UP direction classes and candidate turns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.core.direction_graph import RELEASABLE_TURNS, Turn
+from repro.routing.base import TurnModel
+from repro.routing.release import (
+    ClassPair,
+    Release,
+    count_prohibited_pairs,
+    release_prohibited_turns,
+)
+
+__all__ = [
+    "Release",
+    "release_redundant_turns",
+    "count_prohibited_pairs",
+]
+
+
+def release_redundant_turns(
+    turn_model: TurnModel,
+    candidates: Sequence[Union[Turn, ClassPair]] = RELEASABLE_TURNS,
+) -> List[Release]:
+    """Run ``cycle_detection`` over every switch, mutating *turn_model*.
+
+    *turn_model* must be an 8-direction DOWN/UP model when the default
+    candidates are used (``Direction`` is an ``IntEnum``, so the paper's
+    :class:`~repro.core.direction_graph.Turn` objects coerce directly to
+    class pairs).  Returns the accepted releases in application order.
+    """
+    return release_prohibited_turns(
+        turn_model, [(int(a), int(b)) for a, b in candidates]
+    )

@@ -1,0 +1,452 @@
+"""Direction graphs, DDGs/ADDGs and the Phase-2 construction (Section 4.2).
+
+The *direction graph* (DG, Definition 8) has the eight channel directions
+as nodes and turns ``T(d1 -> d2)`` (``d1 != d2``) as edges.  A *direction
+dependency graph* (DDG, Definition 9) is any subgraph; it is *acyclic*
+(ADDG, Definition 10) if restricting every switch of a communication
+graph to the DDG's turns can never close a *turn cycle* (Definition 7).
+
+The paper finds a **maximal** ADDG of the complete DG in four incremental
+steps, at each step removing turns that either route traffic *up before
+down* or route it *toward the root* — this preference is what pushes
+traffic to the leaves and removes the opposite-direction prohibited-turn
+pairs that plague up*/down*.  The complement of the final ``ADDG_7`` is
+the canonical 18-turn prohibited set listed verbatim in Section 4.3
+(:data:`DOWN_UP_PROHIBITED_TURNS`).
+
+Two entry points:
+
+* :data:`DOWN_UP_PROHIBITED_TURNS` — the paper's final PT, as data;
+* :func:`build_maximal_addg` — an executable rendition of Steps 1-4 whose
+  output is asserted (in tests) to equal the canonical set; each removal
+  is justified by a realizability check
+  (:func:`direction_cycle_realizable`) on the cycle it breaks.
+
+The channel-level companion check (searching a concrete communication
+graph for a turn cycle under per-node allowed-turn state — Lemma 1 /
+Theorem 1 made executable) lives in :mod:`repro.routing.channel_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.directions import Direction
+
+
+class Turn(NamedTuple):
+    """A turn ``T(frm -> to)`` between two channel directions (Def. 6)."""
+
+    frm: Direction
+    to: Direction
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"T({self.frm.name}->{self.to.name})"
+
+
+def all_turns(nodes: Iterable[Direction]) -> Set[Turn]:
+    """Every turn between *distinct* directions in *nodes* (complete DG)."""
+    ns = list(nodes)
+    return {Turn(a, b) for a in ns for b in ns if a is not b}
+
+
+class DirectionGraph:
+    """A DDG: a set of direction nodes plus a set of turn edges.
+
+    Mutable by design — the Phase-2 construction grows/prunes one
+    instance step by step.  ``complete(nodes)`` builds the DG of a node
+    set; the *complete direction graph* (CDG, Definition 8) is
+    ``complete(Direction)``.
+    """
+
+    __slots__ = ("nodes", "turns")
+
+    def __init__(
+        self,
+        nodes: Iterable[Direction] = (),
+        turns: Iterable[Turn] = (),
+    ) -> None:
+        self.nodes: Set[Direction] = set(nodes)
+        self.turns: Set[Turn] = set()
+        for t in turns:
+            self.add_turn(t)
+
+    @staticmethod
+    def complete(nodes: Iterable[Direction]) -> "DirectionGraph":
+        """The complete DG over *nodes*."""
+        ns = set(nodes)
+        return DirectionGraph(ns, all_turns(ns))
+
+    def add_turn(self, turn: Turn) -> None:
+        """Add a turn edge; both endpoints must be (or become) nodes."""
+        if turn.frm is turn.to:
+            raise ValueError(f"self-turn {turn} is not a DG edge (Def. 8)")
+        self.nodes.add(turn.frm)
+        self.nodes.add(turn.to)
+        self.turns.add(turn)
+
+    def remove_turn(self, turn: Turn) -> None:
+        """Remove a turn edge (KeyError if absent)."""
+        self.turns.remove(turn)
+
+    def has_turn(self, frm: Direction, to: Direction) -> bool:
+        """True if ``T(frm -> to)`` is an edge."""
+        return Turn(frm, to) in self.turns
+
+    def union(self, other: "DirectionGraph") -> "DirectionGraph":
+        """New DDG with the nodes and turns of both operands."""
+        return DirectionGraph(self.nodes | other.nodes, self.turns | other.turns)
+
+    def with_all_turns_between(
+        self, a: Iterable[Direction], b: Iterable[Direction]
+    ) -> "DirectionGraph":
+        """New DDG adding every turn between node sets *a* and *b*.
+
+        This is the paper's "combine ADDG_i with ADDG_j by adding edges
+        between nodes in ADDG_i and ADDG_j" operation.
+        """
+        out = DirectionGraph(self.nodes, self.turns)
+        for d1 in a:
+            for d2 in b:
+                if d1 is not d2:
+                    out.add_turn(Turn(d1, d2))
+                    out.add_turn(Turn(d2, d1))
+        return out
+
+    def complement_in(self, universe: "DirectionGraph") -> Set[Turn]:
+        """Turns of *universe* missing from this DDG (the prohibited set)."""
+        return universe.turns - self.turns
+
+    def digraph_cycles(self) -> List[Tuple[Direction, ...]]:
+        """All elementary cycles of the DDG viewed as a plain digraph.
+
+        Note Figure 1(f): a DDG cycle need *not* be realizable as a turn
+        cycle in a CG — realizability is decided by
+        :func:`direction_cycle_realizable`.
+        """
+        adj: Dict[Direction, List[Direction]] = {n: [] for n in self.nodes}
+        for t in self.turns:
+            adj[t.frm].append(t.to)
+        cycles: List[Tuple[Direction, ...]] = []
+        order = sorted(self.nodes)
+        for start in order:
+            # simple Johnson-lite enumeration restricted to cycles whose
+            # minimum node is `start` (the direction graph has <= 8 nodes,
+            # so exhaustive search is cheap)
+            stack: List[Tuple[Direction, List[Direction]]] = [(start, [start])]
+            while stack:
+                v, path = stack.pop()
+                for w in adj[v]:
+                    if w is start and len(path) > 1:
+                        cycles.append(tuple(path))
+                    elif w not in path and w > start:
+                        stack.append((w, path + [w]))
+            # length-2 cycles with start included above when len(path)>1
+        # also catch 2-cycles start->w->start where w > start handled; ok
+        return cycles
+
+    def is_realizably_acyclic(self) -> bool:
+        """True if no digraph cycle of the DDG is CG-realizable.
+
+        This is the Definition-10 acyclicity test at the direction level:
+        the DDG is an ADDG iff every direction cycle it contains fails
+        the displacement-balance condition of
+        :func:`direction_cycle_realizable`.
+        """
+        return all(
+            not direction_cycle_realizable(c) for c in self.digraph_cycles()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DirectionGraph(nodes={sorted(n.name for n in self.nodes)}, "
+            f"turns={len(self.turns)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# realizability of direction cycles
+# ---------------------------------------------------------------------------
+
+#: Sign of the x/y displacement each direction imposes on a channel
+#: (start -> sink).  x signs are strict (preorder ranks never tie); the
+#: horizontal cross directions have exactly zero y displacement and in a
+#: BFS tree every non-horizontal cross link spans exactly one level.
+_DX_SIGN = {
+    Direction.LU_TREE: -1,
+    Direction.RD_TREE: +1,
+    Direction.LU_CROSS: -1,
+    Direction.LD_CROSS: -1,
+    Direction.RU_CROSS: +1,
+    Direction.RD_CROSS: +1,
+    Direction.R_CROSS: +1,
+    Direction.L_CROSS: -1,
+}
+_DY_SIGN = {
+    Direction.LU_TREE: -1,
+    Direction.RD_TREE: +1,
+    Direction.LU_CROSS: -1,
+    Direction.LD_CROSS: +1,
+    Direction.RU_CROSS: -1,
+    Direction.RD_CROSS: +1,
+    Direction.R_CROSS: 0,
+    Direction.L_CROSS: 0,
+}
+
+
+def direction_cycle_realizable(cycle: Sequence[Direction]) -> bool:
+    """Can *cycle* (a cyclic direction sequence) be a turn cycle in a CG?
+
+    A turn cycle returns to its starting switch, so the channel
+    displacements along it must sum to zero in both coordinates.  Since
+    every direction moves strictly left or strictly right, the x sum
+    cancels only if both signs occur; the y sum cancels only if both an
+    upward and a downward direction occur or every direction is
+    horizontal.  This necessary condition is exactly the argument the
+    paper uses to dismiss DDG cycles such as Figure 1(f)'s
+    ``LD_CROSS <-> RD_TREE`` (all-downward, hence unrealizable).
+    """
+    if not cycle:
+        return False
+    dx = {_DX_SIGN[d] for d in cycle}
+    dy = {_DY_SIGN[d] for d in cycle}
+    x_balanced = -1 in dx and +1 in dx
+    y_balanced = (-1 in dy and +1 in dy) or dy == {0}
+    return x_balanced and y_balanced
+
+
+# ---------------------------------------------------------------------------
+# the canonical Phase-2 result (Section 4.3)
+# ---------------------------------------------------------------------------
+
+D = Direction  # local alias for readability of the big literal below
+
+#: The 18 prohibited turns of the DOWN/UP routing.
+#:
+#: **Erratum note.**  The paper's Section 4.3 prints a PT whose four
+#: "step 3" members are ``horizontal -> up-cross`` turns
+#: (``T(L->RU), T(L->LU), T(R->RU), T(R->LU)``).  That printed list
+#: contradicts the paper's own Step-3 narrative ("we remove edges from
+#: nodes in Region 1 [= LU_CROSS, RU_CROSS] to nodes in ADDG_3
+#: [= L_CROSS, R_CROSS]", i.e. ``up-cross -> horizontal``), and it is
+#: **not deadlock-free**: it leaves turn cycles such as
+#: ``RU_CROSS -> L_CROSS -> LD_CROSS -> (RU_CROSS)`` entirely allowed
+#: (see ``tests/test_paper_erratum.py`` for a concrete 5-switch network
+#: realizing that cycle).  It is also inconsistent with Step 4, whose
+#: cycles C3/C4 presuppose ``T(L->RU)`` / ``T(R->LU)`` to be *allowed*.
+#: We therefore use the narrative-consistent set below, which is
+#: machine-verified acyclic and maximal; the printed variant is kept as
+#: :data:`PAPER_SECTION_4_3_PRINTED_PT` for the executable erratum.
+DOWN_UP_PROHIBITED_TURNS: FrozenSet[Turn] = frozenset(
+    {
+        # -- traffic may never head back toward the root: nothing enters
+        #    LU_TREE (7 turns; step 1 removed the first, step 4 the rest)
+        Turn(D.RD_TREE, D.LU_TREE),
+        Turn(D.RD_CROSS, D.LU_TREE),
+        Turn(D.L_CROSS, D.LU_TREE),
+        Turn(D.R_CROSS, D.LU_TREE),
+        Turn(D.LU_CROSS, D.LU_TREE),
+        Turn(D.LD_CROSS, D.LU_TREE),
+        Turn(D.RU_CROSS, D.LU_TREE),
+        # -- no up-cross before down-cross (steps 1 and 2): DOWN before UP
+        Turn(D.RU_CROSS, D.LD_CROSS),
+        Turn(D.RU_CROSS, D.RD_CROSS),
+        Turn(D.LU_CROSS, D.LD_CROSS),
+        Turn(D.LU_CROSS, D.RD_CROSS),
+        # -- no up-cross before down-tree (step 4, cycles C3/C4; these two
+        #    are the per-node releasable turns of Phase 3)
+        Turn(D.LU_CROSS, D.RD_TREE),
+        Turn(D.RU_CROSS, D.RD_TREE),
+        # -- horizontal ordering (step 1) and no up-cross before
+        #    horizontal (step 3, Observation 5: Region 1 -> ADDG_3)
+        Turn(D.L_CROSS, D.R_CROSS),
+        Turn(D.LU_CROSS, D.L_CROSS),
+        Turn(D.LU_CROSS, D.R_CROSS),
+        Turn(D.RU_CROSS, D.L_CROSS),
+        Turn(D.RU_CROSS, D.R_CROSS),
+    }
+)
+
+#: The prohibited-turn list exactly as printed in Section 4.3 of the
+#: paper.  Differs from :data:`DOWN_UP_PROHIBITED_TURNS` in the four
+#: step-3 turns (printed: horizontal -> up-cross) and is *not* deadlock
+#: free — see the erratum note above.
+PAPER_SECTION_4_3_PRINTED_PT: FrozenSet[Turn] = frozenset(
+    (DOWN_UP_PROHIBITED_TURNS
+     - {
+         Turn(D.LU_CROSS, D.L_CROSS),
+         Turn(D.LU_CROSS, D.R_CROSS),
+         Turn(D.RU_CROSS, D.L_CROSS),
+         Turn(D.RU_CROSS, D.R_CROSS),
+     })
+    | {
+        Turn(D.L_CROSS, D.RU_CROSS),
+        Turn(D.L_CROSS, D.LU_CROSS),
+        Turn(D.R_CROSS, D.RU_CROSS),
+        Turn(D.R_CROSS, D.LU_CROSS),
+    }
+)
+
+#: The two prohibited turns Phase 3 may release per node (Section 4.3).
+RELEASABLE_TURNS: Tuple[Turn, ...] = (
+    Turn(D.LU_CROSS, D.RD_TREE),
+    Turn(D.RU_CROSS, D.RD_TREE),
+)
+
+
+def down_up_addg() -> DirectionGraph:
+    """``ADDG_7``: the maximal ADDG of the complete DG (allowed turns)."""
+    g = DirectionGraph.complete(Direction)
+    for t in DOWN_UP_PROHIBITED_TURNS:
+        g.remove_turn(t)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# executable Phase-2 construction (Steps 1-4)
+# ---------------------------------------------------------------------------
+
+
+class Phase2Trace(NamedTuple):
+    """One removal decision of the Phase-2 construction, for auditing."""
+
+    step: str
+    removed: Turn
+    breaks_cycle: Tuple[Direction, ...]
+    reason: str
+
+
+def _remove_checked(
+    g: DirectionGraph,
+    turn: Turn,
+    cycle: Tuple[Direction, ...],
+    step: str,
+    reason: str,
+    trace: List[Phase2Trace],
+) -> None:
+    """Remove *turn*, recording that it breaks the realizable *cycle*.
+
+    Sanity-checks the paper's narrative: the cycle being broken must be
+    present in the DDG and realizable in a CG before the removal.
+    """
+    for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+        if not g.has_turn(a, b):
+            raise AssertionError(
+                f"{step}: cycle {[d.name for d in cycle]} not present "
+                f"before removing {turn}"
+            )
+    if not direction_cycle_realizable(cycle):
+        raise AssertionError(
+            f"{step}: cycle {[d.name for d in cycle]} is not realizable; "
+            "nothing to break"
+        )
+    g.remove_turn(turn)
+    trace.append(Phase2Trace(step, turn, cycle, reason))
+
+
+def build_maximal_addg() -> Tuple[DirectionGraph, List[Phase2Trace]]:
+    """Execute Phase 2 (Section 4.2, Steps 1-4) and return ``ADDG_7``.
+
+    Returns the resulting :class:`DirectionGraph` of *allowed* turns plus
+    the ordered trace of removal decisions.  Tests assert that the
+    complement equals :data:`DOWN_UP_PROHIBITED_TURNS` and that the
+    result is maximal (re-adding any removed turn creates a realizable
+    direction cycle).
+    """
+    trace: List[Phase2Trace] = []
+    up_before_down = "push traffic downward: forbid up-before-down"
+    toward_root = "prevent traffic from flowing to the root"
+
+    # -- Step 1: the four opposite-direction node pairs -----------------
+    addg1 = DirectionGraph.complete([D.LU_CROSS, D.RD_CROSS])
+    _remove_checked(
+        addg1, Turn(D.LU_CROSS, D.RD_CROSS), (D.LU_CROSS, D.RD_CROSS),
+        "step1/ADDG1", up_before_down, trace,
+    )
+    addg2 = DirectionGraph.complete([D.LD_CROSS, D.RU_CROSS])
+    _remove_checked(
+        addg2, Turn(D.RU_CROSS, D.LD_CROSS), (D.RU_CROSS, D.LD_CROSS),
+        "step1/ADDG2", up_before_down, trace,
+    )
+    addg3 = DirectionGraph.complete([D.L_CROSS, D.R_CROSS])
+    _remove_checked(
+        addg3, Turn(D.L_CROSS, D.R_CROSS), (D.L_CROSS, D.R_CROSS),
+        "step1/ADDG3", "either removal equivalent; paper removes L->R", trace,
+    )
+    addg4 = DirectionGraph.complete([D.LU_TREE, D.RD_TREE])
+    _remove_checked(
+        addg4, Turn(D.RD_TREE, D.LU_TREE), (D.RD_TREE, D.LU_TREE),
+        "step1/ADDG4", toward_root, trace,
+    )
+
+    # -- Step 2: ADDG1 + ADDG2 -> ADDG5 ---------------------------------
+    addg5 = addg1.union(addg2).with_all_turns_between(
+        addg1.nodes, addg2.nodes
+    )
+    _remove_checked(
+        addg5, Turn(D.RU_CROSS, D.RD_CROSS),
+        (D.RU_CROSS, D.RD_CROSS, D.LD_CROSS),  # cycle C1 (Figure 4(b))
+        "step2", up_before_down, trace,
+    )
+    _remove_checked(
+        addg5, Turn(D.LU_CROSS, D.LD_CROSS),
+        (D.LU_CROSS, D.LD_CROSS, D.RU_CROSS),  # cycle C2 (Figure 4(c))
+        "step2", up_before_down, trace,
+    )
+
+    # -- Step 3: ADDG3 + ADDG5 -> ADDG6 ---------------------------------
+    # Region 1 = {LU,RU}_CROSS (Observation 2: no downward component),
+    # Region 2 = {LD,RD}_CROSS (Observation 1: no upward component).
+    # Observation 5: a cycle can thread Region 1 -> ADDG_3 -> Region 2
+    # and back; the paper breaks it by removing the edges *from Region 1
+    # to ADDG_3* (up-cross -> horizontal), keeping horizontal -> up-cross
+    # (which Step 4's cycles C3/C4 presuppose to be allowed).
+    addg6 = addg3.union(addg5).with_all_turns_between(
+        addg3.nodes, addg5.nodes
+    )
+    for up, horiz, down in (
+        (D.LU_CROSS, D.L_CROSS, D.RD_CROSS),
+        (D.LU_CROSS, D.R_CROSS, D.RD_CROSS),
+        (D.RU_CROSS, D.L_CROSS, D.LD_CROSS),
+        (D.RU_CROSS, D.R_CROSS, D.LD_CROSS),
+    ):
+        _remove_checked(
+            addg6, Turn(up, horiz), (up, horiz, down),
+            "step3", up_before_down, trace,
+        )
+
+    # -- Step 4: ADDG4 + ADDG6 -> ADDG7 ---------------------------------
+    addg7 = addg4.union(addg6).with_all_turns_between(
+        addg4.nodes, addg6.nodes
+    )
+    # cycles C3/C4 (Figures 6(c)-(d)): RD_TREE -> horizontal -> up-cross
+    # -> RD_TREE; break by forbidding up-cross -> RD_TREE.
+    _remove_checked(
+        addg7, Turn(D.RU_CROSS, D.RD_TREE),
+        (D.RD_TREE, D.L_CROSS, D.RU_CROSS),  # cycle C3
+        "step4", up_before_down, trace,
+    )
+    _remove_checked(
+        addg7, Turn(D.LU_CROSS, D.RD_TREE),
+        (D.RD_TREE, D.R_CROSS, D.LU_CROSS),  # cycle C4
+        "step4", up_before_down, trace,
+    )
+    # nothing may enter LU_TREE: remove all edges from ADDG6's nodes to
+    # LU_TREE (RD_TREE -> LU_TREE fell in step 1).  Each removal is
+    # witnessed by the cycle frm -> LU_TREE -> RD_TREE -> frm, which is
+    # realizable for every cross direction.
+    for frm in sorted(addg6.nodes):
+        _remove_checked(
+            addg7, Turn(frm, D.LU_TREE), (frm, D.LU_TREE, D.RD_TREE),
+            "step4", toward_root, trace,
+        )
+    return addg7, trace

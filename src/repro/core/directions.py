@@ -1,0 +1,147 @@
+"""Channel directions of the communication graph (Definitions 4 and 5).
+
+Given a coordinated tree, every switch carries a 2-D coordinate
+``(x, y)`` — ``x`` the preorder rank, ``y`` the tree level.  The sink of
+a channel then sits at one of six *relative positions* from the start
+(Definition 4): left-up, left, left-down, right-up, right, right-down.
+(Exactly six: preorder ranks are unique, so ``x`` never ties.)
+
+Channel *directions* (Definition 5) refine the relative position with the
+link type.  Tree links only ever connect a parent (left-up of the child)
+and a child (right-down of the parent), giving ``LU_TREE`` / ``RD_TREE``;
+cross links take the remaining six classes ``LU_CROSS``, ``LD_CROSS``,
+``RU_CROSS``, ``RD_CROSS``, ``R_CROSS``, ``L_CROSS``.
+
+This 8-way classification — in particular, that tree links and cross
+links are *different types with different direction definitions* — is the
+paper's stated advantage over the L-turn routing's L-R tree, where both
+link types share one definition.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class RelativePosition(enum.Enum):
+    """Position of a channel's sink relative to its start (Definition 4)."""
+
+    LEFT_UP = "left-up"
+    LEFT = "left"
+    LEFT_DOWN = "left-down"
+    RIGHT_UP = "right-up"
+    RIGHT = "right"
+    RIGHT_DOWN = "right-down"
+
+
+class Direction(enum.IntEnum):
+    """The eight channel directions of Definition 5.
+
+    ``IntEnum`` with a dense 0..7 range so per-node allowed-turn state
+    can live in flat 8x8 boolean arrays.
+    """
+
+    LU_TREE = 0
+    RD_TREE = 1
+    LU_CROSS = 2
+    LD_CROSS = 3
+    RU_CROSS = 4
+    RD_CROSS = 5
+    R_CROSS = 6
+    L_CROSS = 7
+
+    @property
+    def is_tree(self) -> bool:
+        """True for the two tree-link directions."""
+        return self in (Direction.LU_TREE, Direction.RD_TREE)
+
+    @property
+    def is_cross(self) -> bool:
+        """True for the six cross-link directions."""
+        return not self.is_tree
+
+    @property
+    def is_upward(self) -> bool:
+        """True if the sink is strictly closer to the root (smaller y)."""
+        return self in (Direction.LU_TREE, Direction.LU_CROSS, Direction.RU_CROSS)
+
+    @property
+    def is_downward(self) -> bool:
+        """True if the sink is strictly further from the root (larger y)."""
+        return self in (Direction.RD_TREE, Direction.LD_CROSS, Direction.RD_CROSS)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True if start and sink share a tree level."""
+        return self in (Direction.R_CROSS, Direction.L_CROSS)
+
+
+#: Number of direction classes (size of the complete direction graph).
+NUM_DIRECTIONS = len(Direction)
+
+
+def relative_position(
+    start_xy: Tuple[int, int], sink_xy: Tuple[int, int]
+) -> RelativePosition:
+    """Classify *sink_xy* relative to *start_xy* (Definition 4).
+
+    Raises ``ValueError`` on equal x coordinates: preorder ranks are
+    unique, so two distinct switches can never share an x.
+    """
+    (x1, y1), (x2, y2) = start_xy, sink_xy
+    if x2 == x1:
+        raise ValueError(
+            f"x coordinates must be unique, got {start_xy} and {sink_xy}"
+        )
+    if x2 < x1:
+        if y2 < y1:
+            return RelativePosition.LEFT_UP
+        if y2 == y1:
+            return RelativePosition.LEFT
+        return RelativePosition.LEFT_DOWN
+    if y2 < y1:
+        return RelativePosition.RIGHT_UP
+    if y2 == y1:
+        return RelativePosition.RIGHT
+    return RelativePosition.RIGHT_DOWN
+
+
+_TREE_DIRECTION = {
+    RelativePosition.LEFT_UP: Direction.LU_TREE,
+    RelativePosition.RIGHT_DOWN: Direction.RD_TREE,
+}
+
+_CROSS_DIRECTION = {
+    RelativePosition.LEFT_UP: Direction.LU_CROSS,
+    RelativePosition.LEFT_DOWN: Direction.LD_CROSS,
+    RelativePosition.RIGHT_UP: Direction.RU_CROSS,
+    RelativePosition.RIGHT_DOWN: Direction.RD_CROSS,
+    RelativePosition.RIGHT: Direction.R_CROSS,
+    RelativePosition.LEFT: Direction.L_CROSS,
+}
+
+
+def classify_channel(
+    start_xy: Tuple[int, int],
+    sink_xy: Tuple[int, int],
+    is_tree_link: bool,
+) -> Direction:
+    """Direction of a channel given endpoint coordinates (Definition 5).
+
+    Tree links admit only ``LU_TREE``/``RD_TREE`` (a tree channel runs
+    between a parent and a child, which are necessarily left-up /
+    right-down of each other in preorder-x, level-y coordinates); any
+    other relative position on a tree link indicates corrupt coordinates
+    and raises ``ValueError``.
+    """
+    pos = relative_position(start_xy, sink_xy)
+    if is_tree_link:
+        try:
+            return _TREE_DIRECTION[pos]
+        except KeyError:
+            raise ValueError(
+                f"tree channel with relative position {pos.value}: "
+                f"coordinates {start_xy}->{sink_xy} are not parent/child"
+            ) from None
+    return _CROSS_DIRECTION[pos]

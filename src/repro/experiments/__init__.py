@@ -1,0 +1,58 @@
+"""Experiment harness: one entry point per paper table and figure.
+
+* :mod:`repro.experiments.configs` — scale presets (``paper``,
+  ``midscale``, ``quick``, ``tiny``) sharing one code path;
+* :mod:`repro.experiments.harness` — topology/tree/routing plumbing
+  shared by all experiments (same coordinated tree per sample and
+  method across algorithms, exactly as the paper compares);
+* :mod:`repro.experiments.figure8` — latency vs accepted traffic
+  sweeps (Figure 8a/8b);
+* :mod:`repro.experiments.tables` — the four saturation-regime tables
+  (Tables 1-4), simulated and in fast static-analysis form;
+* :mod:`repro.experiments.report` — paper-layout rendering;
+* ``python -m repro.experiments`` — the CLI.
+"""
+
+from repro.experiments.configs import PRESETS, ExperimentPreset, get_preset
+from repro.experiments.harness import (
+    ALGORITHMS,
+    TREE_METHODS,
+    build_routings,
+    make_topology,
+)
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.tables import TablesResult, run_static_tables, run_tables
+from repro.experiments.parallel import WorkUnit, figure8_units, run_parallel, tables_units
+from repro.experiments.statistics import (
+    PairedComparison,
+    Summary,
+    paired_compare,
+    paired_table_comparison,
+    summarize,
+    summarize_table_result,
+)
+
+__all__ = [
+    "PRESETS",
+    "ExperimentPreset",
+    "get_preset",
+    "ALGORITHMS",
+    "TREE_METHODS",
+    "make_topology",
+    "build_routings",
+    "Figure8Result",
+    "run_figure8",
+    "TablesResult",
+    "run_tables",
+    "run_static_tables",
+    "WorkUnit",
+    "figure8_units",
+    "tables_units",
+    "run_parallel",
+    "Summary",
+    "PairedComparison",
+    "summarize",
+    "paired_compare",
+    "summarize_table_result",
+    "paired_table_comparison",
+]

@@ -1,0 +1,330 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Subcommands map one-to-one onto the paper's evaluation artefacts::
+
+    python -m repro.experiments figure8 --preset quick --ports 4
+    python -m repro.experiments tables  --preset quick
+    python -m repro.experiments static-tables --preset midscale
+    python -m repro.experiments campaign --preset paperlite --workers 8
+    python -m repro.experiments sweep --preset quick --traffic tornado --vcs 2
+    python -m repro.experiments erratum
+    python -m repro.experiments info
+
+Results print to stdout; ``--out DIR`` additionally writes CSV/ASCII
+artefacts for EXPERIMENTS.md.  ``--workers N`` parallelises the
+independent simulations of ``figure8``/``tables``/``campaign`` with
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.configs import PRESETS, get_preset
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.harness import ALGORITHMS, PAPER_ALGORITHMS, PAPER_METHODS
+from repro.experiments.report import (
+    render_all_tables,
+    render_figure8_summary,
+    winners,
+)
+from repro.experiments.tables import run_static_tables, run_tables
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument(
+            "--preset",
+            default="quick",
+            choices=sorted(PRESETS),
+            help="scale preset (default: quick)",
+        )
+        sp.add_argument(
+            "--samples", type=int, default=None, help="override sample count"
+        )
+        sp.add_argument(
+            "--algorithms",
+            nargs="+",
+            default=list(PAPER_ALGORITHMS),
+            choices=sorted(ALGORITHMS),
+            help="algorithms to compare",
+        )
+        sp.add_argument(
+            "--methods",
+            nargs="+",
+            default=list(PAPER_METHODS),
+            choices=["M1", "M2", "M3"],
+            help="coordinated-tree methods",
+        )
+        sp.add_argument("--out", type=Path, default=None, help="artefact dir")
+        sp.add_argument(
+            "--quiet", action="store_true", help="suppress progress lines"
+        )
+        sp.add_argument(
+            "--workers", type=int, default=1,
+            help="process-pool size for the simulations (default: serial)",
+        )
+
+    f8 = sub.add_parser("figure8", help="latency vs accepted traffic curves")
+    common(f8)
+    f8.add_argument("--ports", type=int, default=4, choices=(4, 8))
+
+    tb = sub.add_parser("tables", help="Tables 1-4 (simulated, saturated)")
+    common(tb)
+    tb.add_argument("--ports", type=int, nargs="+", default=None)
+
+    st = sub.add_parser("static-tables", help="Tables 1-4 (static analysis)")
+    common(st)
+    st.add_argument("--ports", type=int, nargs="+", default=None)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="custom injection-rate sweep on one generated topology",
+    )
+    common(sw)
+    sw.add_argument("--ports", type=int, default=4)
+    sw.add_argument("--switches", type=int, default=None,
+                    help="override the preset's switch count")
+    sw.add_argument("--rates", type=float, nargs="+", default=None,
+                    help="offered loads (flits/clock/node)")
+    sw.add_argument(
+        "--traffic",
+        default="uniform",
+        choices=("uniform", "hotspot", "tornado", "local", "bitcomp"),
+    )
+    sw.add_argument("--vcs", type=int, default=1,
+                    help="virtual channels per physical channel")
+
+    cp = sub.add_parser(
+        "campaign",
+        help="generate every paper artefact into one directory (resumable)",
+    )
+    common(cp)
+    cp.add_argument("--force", action="store_true",
+                    help="re-run stages whose artefacts already exist")
+    cp.add_argument("--no-static", action="store_true",
+                    help="skip the static-analysis cross-check stage")
+
+    sub.add_parser("erratum", help="demonstrate the Section 4.3 PT erratum")
+    sub.add_parser("info", help="list presets and algorithms")
+    return p
+
+
+def _progress(quiet: bool):
+    return (lambda msg: None) if quiet else (lambda msg: print(msg, flush=True))
+
+
+def _cmd_figure8(args) -> int:
+    preset = get_preset(args.preset)
+    if args.samples:
+        preset = preset.scaled(samples=args.samples)
+    result = run_figure8(
+        preset,
+        ports=args.ports,
+        methods=args.methods,
+        algorithms=args.algorithms,
+        out_dir=args.out,
+        progress=_progress(args.quiet),
+        workers=args.workers,
+    )
+    print()
+    print(result.to_ascii())
+    print()
+    print(render_figure8_summary(result))
+    return 0
+
+
+def _cmd_tables(args, static: bool) -> int:
+    preset = get_preset(args.preset)
+    if args.samples:
+        preset = preset.scaled(samples=args.samples)
+    runner = run_static_tables if static else run_tables
+    kwargs = {} if static else {"workers": args.workers}
+    result = runner(
+        preset,
+        ports_list=args.ports,
+        methods=args.methods,
+        algorithms=args.algorithms,
+        out_dir=args.out,
+        progress=_progress(args.quiet),
+        **kwargs,
+    )
+    ports_list = args.ports or preset.ports
+    print()
+    print(render_all_tables(result, args.algorithms, ports_list, args.methods))
+    print()
+    win = winners(result, ports_list)
+    for metric, alg in sorted(win.items()):
+        print(f"winner[{metric}] = {alg}")
+    return 0
+
+
+def _make_traffic(name: str, n: int):
+    from repro.simulator.traffic import (
+        BitComplementTraffic,
+        HotspotTraffic,
+        LocalTraffic,
+        TornadoTraffic,
+        UniformTraffic,
+    )
+
+    return {
+        "uniform": lambda: UniformTraffic(n),
+        "hotspot": lambda: HotspotTraffic(n, hotspots=[0], fraction=0.2),
+        "tornado": lambda: TornadoTraffic(n),
+        "local": lambda: LocalTraffic(n, radius=3),
+        "bitcomp": lambda: BitComplementTraffic(n),
+    }[name]()
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.harness import build_routings, make_topology
+    from repro.metrics.saturation import sweep_injection_rates
+    from repro.simulator.vc_engine import simulate_vc
+    from repro.util.tables import format_table
+
+    preset = get_preset(args.preset)
+    if args.switches:
+        preset = preset.scaled(n_switches=args.switches)
+    topology = make_topology(preset, args.ports, sample=0)
+    traffic = _make_traffic(args.traffic, topology.n)
+    rates = tuple(args.rates) if args.rates else preset.rates_for(args.ports)
+    progress = _progress(args.quiet)
+
+    rows = []
+    routings = build_routings(
+        topology, preset, 0, methods=("M1",), algorithms=args.algorithms
+    )
+    for (alg, _method), (routing, _tree) in routings.items():
+        cfg = preset.sim_config(seed=preset.seed)
+        if args.vcs > 1:
+            for rate in rates:
+                stats = simulate_vc(
+                    routing, cfg.with_rate(rate), num_vcs=args.vcs,
+                    traffic=traffic,
+                )
+                rows.append(
+                    [alg, rate, round(stats.accepted_traffic, 5),
+                     round(stats.average_latency, 1)]
+                )
+                progress(f"{alg} rate={rate} done")
+        else:
+            for p in sweep_injection_rates(
+                routing, cfg, rates, traffic=traffic, progress=progress
+            ):
+                rows.append(
+                    [alg, p.offered, round(p.accepted, 5), round(p.latency, 1)]
+                )
+    print()
+    print(
+        format_table(
+            ["algorithm", "offered", "accepted", "latency"],
+            rows,
+            title=(
+                f"sweep: {topology}, traffic={args.traffic}, vcs={args.vcs}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.experiments.campaign import run_campaign
+
+    preset = get_preset(args.preset)
+    if args.samples:
+        preset = preset.scaled(samples=args.samples)
+    out = args.out or Path(f"results/campaign_{preset.name}")
+    stages = run_campaign(
+        preset,
+        out,
+        workers=args.workers,
+        force=args.force,
+        progress=_progress(args.quiet),
+        include_static=not args.no_static,
+    )
+    for st in stages:
+        state = "skipped" if st.skipped else f"{st.seconds:.1f}s"
+        print(f"{st.name:18s} {state}")
+    print(f"artefacts in {out}")
+    return 0
+
+
+def _cmd_erratum() -> int:
+    from repro.core.communication_graph import CommunicationGraph
+    from repro.core.coordinated_tree import build_coordinated_tree
+    from repro.core.direction_graph import (
+        DOWN_UP_PROHIBITED_TURNS,
+        PAPER_SECTION_4_3_PRINTED_PT,
+    )
+    from repro.core.downup import down_up_turn_model
+    from repro.routing.channel_graph import find_turn_cycle
+    from repro.topology.graph import Topology
+
+    print(__doc__ or "")
+    print("Section 4.3 erratum demonstration")
+    print("=================================")
+    diff_printed = sorted(
+        str(t) for t in PAPER_SECTION_4_3_PRINTED_PT - DOWN_UP_PROHIBITED_TURNS
+    )
+    diff_fixed = sorted(
+        str(t) for t in DOWN_UP_PROHIBITED_TURNS - PAPER_SECTION_4_3_PRINTED_PT
+    )
+    print(f"printed-only prohibitions : {diff_printed}")
+    print(f"narrative-only prohibitions: {diff_fixed}")
+    topo = Topology(5, [(0, 1), (0, 2), (0, 3), (1, 4), (3, 4), (2, 4), (2, 3)])
+    cg = CommunicationGraph.from_tree(build_coordinated_tree(topo))
+    printed = down_up_turn_model(
+        cg, apply_phase3=False, prohibited=PAPER_SECTION_4_3_PRINTED_PT
+    )
+    fixed = down_up_turn_model(cg, apply_phase3=False)
+    cyc = find_turn_cycle(printed)
+    print(f"5-switch witness network : links={list(topo.links)}")
+    print(f"printed PT turn cycle    : {cyc}  (channels; DEADLOCK POSSIBLE)")
+    print(f"narrative PT turn cycle  : {find_turn_cycle(fixed)}")
+    return 0 if cyc is not None else 1
+
+
+def _cmd_info() -> int:
+    print("presets:")
+    for name, p in sorted(PRESETS.items()):
+        print(
+            f"  {name:9s} n={p.n_switches:4d} ports={p.ports} "
+            f"samples={p.samples} packet={p.packet_length} "
+            f"clocks={p.warmup_clocks}+{p.measure_clocks}"
+        )
+    print("algorithms:", ", ".join(sorted(ALGORITHMS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatch (also the ``repro-experiments`` console script)."""
+    args = _parser().parse_args(argv)
+    if args.command == "figure8":
+        return _cmd_figure8(args)
+    if args.command == "tables":
+        return _cmd_tables(args, static=False)
+    if args.command == "static-tables":
+        return _cmd_tables(args, static=True)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "erratum":
+        return _cmd_erratum()
+    if args.command == "info":
+        return _cmd_info()
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Campaign orchestration: the full evaluation as one resumable run.
+
+A *campaign* is the complete set of artefacts the paper's evaluation
+produces — Figure 8(a), Figure 8(b), Tables 1-4 (simulated), Tables 1-4
+(static cross-check) — generated into one output directory with a
+manifest.  Stages are skipped when their artefacts already exist, so an
+interrupted archival run resumes where it stopped (`--force` in the CLI
+re-runs everything).
+
+This is the library form of the shell scripts used for the results in
+EXPERIMENTS.md::
+
+    from repro.experiments.campaign import run_campaign
+    run_campaign(get_preset("paperlite"), Path("results/archival"))
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.configs import ExperimentPreset
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.report import (
+    render_all_tables,
+    render_figure8_summary,
+    winners,
+)
+from repro.experiments.tables import run_static_tables, run_tables
+
+
+@dataclass
+class StageResult:
+    """Bookkeeping for one campaign stage."""
+
+    name: str
+    skipped: bool
+    seconds: float
+    artefacts: List[str] = field(default_factory=list)
+
+
+def _stage_done(out_dir: Path, artefacts: Sequence[str]) -> bool:
+    return all((out_dir / a).exists() for a in artefacts)
+
+
+def run_campaign(
+    preset: ExperimentPreset,
+    out_dir: Path,
+    workers: int = 1,
+    force: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+    include_static: bool = True,
+) -> List[StageResult]:
+    """Generate every paper artefact for *preset* into *out_dir*.
+
+    Stages (each skipped when its artefacts already exist, unless
+    *force*):
+
+    1. ``figure8-4port`` — Figure 8(a) CSV + ASCII plot + summary;
+    2. ``figure8-8port`` — Figure 8(b) (only if the preset has 8-port);
+    3. ``tables`` — Tables 1-4 simulated at saturation (CSV + rendered);
+    4. ``static-tables`` — the exact static cross-check.
+
+    A ``manifest.json`` records preset parameters, stage timings and
+    the winner summary, so the directory is self-describing.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    say = progress or (lambda msg: None)
+    results: List[StageResult] = []
+
+    def stage(name: str, artefacts: Sequence[str], fn: Callable[[], None]) -> None:
+        if not force and _stage_done(out_dir, artefacts):
+            say(f"[campaign] {name}: artefacts exist, skipping")
+            results.append(StageResult(name, True, 0.0, list(artefacts)))
+            return
+        say(f"[campaign] {name}: running")
+        t0 = time.perf_counter()
+        fn()
+        results.append(
+            StageResult(name, False, time.perf_counter() - t0, list(artefacts))
+        )
+
+    manifest: Dict[str, object] = {
+        "preset": {
+            "name": preset.name,
+            "n_switches": preset.n_switches,
+            "ports": list(preset.ports),
+            "samples": preset.samples,
+            "packet_length": preset.packet_length,
+            "clocks": [preset.warmup_clocks, preset.measure_clocks],
+            "seed": preset.seed,
+        },
+        "stages": {},
+        "winners": {},
+    }
+
+    def fig8(ports: int) -> Callable[[], None]:
+        def run() -> None:
+            result = run_figure8(
+                preset, ports=ports, out_dir=out_dir,
+                progress=progress, workers=workers,
+            )
+            (out_dir / f"figure8_{ports}port_summary.txt").write_text(
+                render_figure8_summary(result) + "\n", encoding="utf-8"
+            )
+        return run
+
+    for ports in preset.ports:
+        stage(
+            f"figure8-{ports}port",
+            [f"figure8_{ports}port.csv", f"figure8_{ports}port_summary.txt"],
+            fig8(ports),
+        )
+
+    def tables_stage() -> None:
+        result = run_tables(
+            preset, out_dir=out_dir, progress=progress, workers=workers
+        )
+        from repro.experiments.harness import PAPER_ALGORITHMS
+
+        (out_dir / "tables_simulated.txt").write_text(
+            render_all_tables(result, PAPER_ALGORITHMS, preset.ports) + "\n",
+            encoding="utf-8",
+        )
+        manifest["winners"]["simulated"] = winners(result, preset.ports)
+
+    stage("tables", ["tables_simulated.csv", "tables_simulated.txt"], tables_stage)
+
+    if include_static:
+        def static_stage() -> None:
+            result = run_static_tables(preset, out_dir=out_dir, progress=progress)
+            from repro.experiments.harness import PAPER_ALGORITHMS
+
+            (out_dir / "tables_static.txt").write_text(
+                render_all_tables(result, PAPER_ALGORITHMS, preset.ports) + "\n",
+                encoding="utf-8",
+            )
+            manifest["winners"]["static"] = winners(result, preset.ports)
+
+        stage("static-tables", ["tables_static.csv", "tables_static.txt"], static_stage)
+
+    manifest["stages"] = {
+        r.name: {"skipped": r.skipped, "seconds": round(r.seconds, 2)}
+        for r in results
+    }
+    (out_dir / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, default=str) + "\n", encoding="utf-8"
+    )
+    say(f"[campaign] complete: {out_dir}/manifest.json")
+    return results

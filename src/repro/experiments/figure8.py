@@ -1,0 +1,164 @@
+"""Figure 8 — average message latency vs accepted traffic.
+
+For each test sample, each coordinated-tree method (M1/M2/M3) and each
+algorithm (L-turn, DOWN/UP), the simulator sweeps the preset's offered
+loads; the figure reports, per (algorithm, method, offered load), the
+mean over samples of accepted traffic (x) and average message latency
+(y).  ``run_figure8(..., ports=4)`` regenerates Figure 8(a) and
+``ports=8`` Figure 8(b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.configs import ExperimentPreset
+from repro.experiments.harness import (
+    PAPER_ALGORITHMS,
+    PAPER_METHODS,
+    build_routings,
+    make_topology,
+)
+from repro.metrics.saturation import sweep_injection_rates
+from repro.util.ascii_plot import ascii_xy_plot
+from repro.util.rng import derive_seed
+from repro.util.tables import format_csv
+
+
+@dataclass
+class Figure8Result:
+    """Aggregated latency/throughput curves for one port configuration.
+
+    ``series`` maps ``"<algorithm>/<method>"`` to a list of
+    ``(accepted_traffic, average_latency)`` points averaged over
+    samples, ordered by offered load.  ``raw`` keeps every per-sample
+    point for statistical post-processing.
+    """
+
+    ports: int
+    preset: str
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    raw: List[Tuple[str, str, int, float, float, float]] = field(
+        default_factory=list
+    )  # (algorithm, method, sample, offered, accepted, latency)
+
+    def saturation_throughput(self, key: str) -> float:
+        """Max mean accepted traffic of one series."""
+        return max(x for x, _ in self.series[key])
+
+    def to_csv(self) -> str:
+        """All raw points as CSV."""
+        return format_csv(
+            ("algorithm", "method", "sample", "offered", "accepted", "latency"),
+            self.raw,
+        )
+
+    def to_ascii(self, max_latency_factor: float = 20.0) -> str:
+        """Figure-8-style ASCII plot (post-saturation blowup clipped).
+
+        Latency diverges beyond saturation; points above
+        ``max_latency_factor x`` the minimum latency are dropped from
+        the plot (they remain in the CSV).
+        """
+        floor = min(
+            (y for pts in self.series.values() for _, y in pts if math.isfinite(y)),
+            default=1.0,
+        )
+        clipped = {
+            name: [
+                (x, y)
+                for x, y in pts
+                if math.isfinite(y) and y <= max_latency_factor * floor
+            ]
+            for name, pts in self.series.items()
+        }
+        return ascii_xy_plot(
+            clipped,
+            x_label="accepted traffic (flits/clock/node)",
+            y_label="avg message latency (clocks)",
+            title=(
+                f"Figure 8 ({self.ports}-port, preset={self.preset}): "
+                "latency vs accepted traffic"
+            ),
+        )
+
+
+def run_figure8(
+    preset: ExperimentPreset,
+    ports: int,
+    methods: Sequence[str] = PAPER_METHODS,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    out_dir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+) -> Figure8Result:
+    """Regenerate Figure 8 for one port configuration.
+
+    Writes ``figure8_<ports>port.csv`` (raw points) and ``.txt`` (ASCII
+    plot) into *out_dir* when given.  ``workers > 1`` fans the
+    independent simulations over a process pool
+    (:mod:`repro.experiments.parallel`); results are bit-identical to
+    the serial run.
+    """
+    result = Figure8Result(ports=ports, preset=preset.name)
+    rates = preset.rates_for(ports)
+    acc: Dict[Tuple[str, str, float], List[float]] = {}
+    lat: Dict[Tuple[str, str, float], List[float]] = {}
+
+    if workers > 1:
+        from repro.experiments.parallel import figure8_units, run_parallel
+
+        units = figure8_units(preset, ports, methods, algorithms)
+        for res in run_parallel(units, max_workers=workers, progress=progress):
+            alg, method, _ports, sample, rate = res["key"]
+            accepted, latency = res["accepted"], res["latency"]
+            result.raw.append((alg, method, sample, rate, accepted, latency))
+            acc.setdefault((alg, method, rate), []).append(accepted)
+            lat.setdefault((alg, method, rate), []).append(latency)
+    else:
+        for sample in range(preset.samples):
+            topology = make_topology(preset, ports, sample)
+            routings = build_routings(
+                topology, preset, sample, methods=methods, algorithms=algorithms
+            )
+            for (alg, method), (routing, _tree) in routings.items():
+                seed = derive_seed(preset.seed, 0xF18, ports, sample)
+                cfg = preset.sim_config(seed)
+                points = sweep_injection_rates(routing, cfg, rates, progress=None)
+                for p in points:
+                    result.raw.append(
+                        (alg, method, sample, p.offered, p.accepted, p.latency)
+                    )
+                    acc.setdefault((alg, method, p.offered), []).append(p.accepted)
+                    lat.setdefault((alg, method, p.offered), []).append(p.latency)
+                if progress is not None:
+                    sat = max(p.accepted for p in points)
+                    progress(
+                        f"[fig8/{ports}p] sample {sample} {alg}/{method}: "
+                        f"saturation ~{sat:.4f} flits/clock/node"
+                    )
+
+    # aggregate: mean accepted and mean latency per (alg, method, rate)
+    for alg in algorithms:
+        for method in methods:
+            pts: List[Tuple[float, float]] = []
+            for rate in rates:
+                a = acc.get((alg, method, rate))
+                l = lat.get((alg, method, rate))
+                if a:
+                    pts.append((sum(a) / len(a), sum(l) / len(l)))
+            result.series[f"{alg}/{method}"] = pts
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"figure8_{ports}port.csv").write_text(
+            result.to_csv() + "\n", encoding="utf-8"
+        )
+        (out_dir / f"figure8_{ports}port.txt").write_text(
+            result.to_ascii() + "\n", encoding="utf-8"
+        )
+    return result

@@ -1,0 +1,108 @@
+"""Shared experiment plumbing.
+
+The paper's methodology (Section 5) compares algorithms *under the same
+coordinated tree* on *the same test samples*: for each random topology
+and each tree-construction method (M1/M2/M3) one tree is built, and
+every algorithm routes on it.  ``build_routings`` reproduces exactly
+that pairing; ``make_topology`` derives each sample's topology
+deterministically from the preset seed, so every experiment (and every
+re-run) sees identical inputs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Iterable, Tuple
+
+from repro.core.coordinated_tree import (
+    CoordinatedTree,
+    TreeMethod,
+    build_coordinated_tree,
+)
+from repro.core.downup import build_down_up_routing
+from repro.experiments.configs import ExperimentPreset
+from repro.routing.base import RoutingFunction
+from repro.routing.lturn import build_l_turn_routing, build_left_right_routing
+from repro.routing.updown import build_up_down_routing
+from repro.topology.generator import random_irregular_topology
+from repro.topology.graph import Topology
+from repro.util.rng import derive_seed
+
+#: Routing builders by harness name.  Each accepts
+#: ``(topology, tree=..., rng=...)`` and returns a verified
+#: :class:`RoutingFunction`.
+ALGORITHMS: Dict[str, Callable[..., RoutingFunction]] = {
+    "down-up": lambda topo, tree, rng: build_down_up_routing(topo, tree=tree, rng=rng),
+    "down-up/no-release": lambda topo, tree, rng: build_down_up_routing(
+        topo, tree=tree, rng=rng, apply_phase3=False
+    ),
+    "l-turn": lambda topo, tree, rng: build_l_turn_routing(topo, tree=tree, rng=rng),
+    "l-turn/no-release": lambda topo, tree, rng: build_l_turn_routing(
+        topo, tree=tree, rng=rng, apply_release=False
+    ),
+    "up-down": lambda topo, tree, rng: build_up_down_routing(topo, tree=tree),
+    "up-down/dfs": lambda topo, tree, rng: build_up_down_routing(
+        topo, tree=None, variant="dfs"
+    ),
+    "left-right": lambda topo, tree, rng: build_left_right_routing(
+        topo, tree=tree, rng=rng
+    ),
+}
+
+#: Tree-construction methods by paper name.
+TREE_METHODS: Dict[str, TreeMethod] = {
+    "M1": TreeMethod.M1,
+    "M2": TreeMethod.M2,
+    "M3": TreeMethod.M3,
+}
+
+#: The two algorithms the paper's tables and figures compare.
+PAPER_ALGORITHMS: Tuple[str, ...] = ("l-turn", "down-up")
+#: All three tree methods of Section 5.
+PAPER_METHODS: Tuple[str, ...] = ("M1", "M2", "M3")
+
+
+def make_topology(
+    preset: ExperimentPreset, ports: int, sample: int
+) -> Topology:
+    """Sample topology #*sample* for a port count, deterministically."""
+    seed = derive_seed(preset.seed, ports, sample)
+    return random_irregular_topology(
+        n=preset.n_switches, ports=ports, rng=seed
+    )
+
+
+def make_tree(
+    topology: Topology, method: str, preset: ExperimentPreset, sample: int
+) -> CoordinatedTree:
+    """The coordinated tree for (*topology*, *method*), deterministic."""
+    tm = TREE_METHODS[method]
+    seed = derive_seed(preset.seed, 0xC7, sample, ord(method[-1]))
+    return build_coordinated_tree(topology, method=tm, rng=seed)
+
+
+def build_routings(
+    topology: Topology,
+    preset: ExperimentPreset,
+    sample: int,
+    methods: Iterable[str] = PAPER_METHODS,
+    algorithms: Iterable[str] = PAPER_ALGORITHMS,
+) -> Dict[Tuple[str, str], Tuple[RoutingFunction, CoordinatedTree]]:
+    """All (algorithm, method) routing functions for one test sample.
+
+    One coordinated tree per method, shared by every algorithm — the
+    paper's "under the same coordinated tree" comparison.  Returns
+    ``{(algorithm, method): (routing, tree)}``; every routing has been
+    verified deadlock-free and connected by its builder.
+    """
+    out: Dict[Tuple[str, str], Tuple[RoutingFunction, CoordinatedTree]] = {}
+    for method in methods:
+        tree = make_tree(topology, method, preset, sample)
+        for alg in algorithms:
+            builder = ALGORITHMS[alg]
+            seed = derive_seed(
+                preset.seed, 0xA19, sample, zlib.crc32(alg.encode())
+            )
+            routing = builder(topology, tree=tree, rng=seed)
+            out[(alg, method)] = (routing, tree)
+    return out

@@ -1,0 +1,149 @@
+"""Sample statistics for experiment aggregation.
+
+The paper reports plain means over 10 random networks.  With fewer
+samples (the ``paperlite``/``midscale`` presets) the uncertainty
+matters, so the harness can attach confidence intervals and perform
+*paired* comparisons — pairing by test sample, exactly the structure
+the paper's "same coordinated tree, same sample" methodology induces —
+which is far more sensitive than comparing two independent means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+# two-sided Student-t 97.5% quantiles for small dof (index = dof);
+# dof > 30 uses the normal 1.96.  Hard-coded: scipy is available in this
+# environment but a table keeps the core dependency-light.
+_T975 = [
+    float("nan"), 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+    2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+    2.045, 2.042,
+]
+
+
+def t_quantile_975(dof: int) -> float:
+    """Two-sided 95% Student-t quantile for *dof* degrees of freedom."""
+    if dof < 1:
+        raise ValueError("need at least 1 degree of freedom")
+    return _T975[dof] if dof < len(_T975) else 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a 95% confidence interval."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.6g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean and 95% CI of *values* (t-based; half-width 0 for n == 1)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if arr.size == 1:
+        return Summary(float(arr[0]), 0.0, 1)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return Summary(
+        float(arr.mean()), t_quantile_975(arr.size - 1) * sem, int(arr.size)
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired comparison A vs B (positive mean: A larger)."""
+
+    mean_difference: float
+    half_width: float
+    n: int
+    wins_a: int
+    wins_b: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI of the difference excludes zero."""
+        return abs(self.mean_difference) > self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"Δ = {self.mean_difference:.6g} ± {self.half_width:.2g} "
+            f"({self.wins_a}:{self.wins_b} wins, n={self.n}, {verdict})"
+        )
+
+
+def paired_compare(
+    a: Sequence[float], b: Sequence[float]
+) -> PairedComparison:
+    """Paired-t comparison of two per-sample metric vectors.
+
+    *a* and *b* must be aligned by test sample (the harness guarantees
+    this).  Returns the mean difference ``a - b`` with its 95% CI and
+    the per-sample win counts.
+    """
+    va = np.asarray(list(a), dtype=float)
+    vb = np.asarray(list(b), dtype=float)
+    if va.shape != vb.shape or va.size == 0:
+        raise ValueError("paired samples must be non-empty and aligned")
+    diff = va - vb
+    s = summarize(diff)
+    return PairedComparison(
+        mean_difference=s.mean,
+        half_width=s.half_width,
+        n=s.n,
+        wins_a=int((diff > 0).sum()),
+        wins_b=int((diff < 0).sum()),
+    )
+
+
+def summarize_table_result(
+    raw: Sequence[Tuple[str, str, str, int, int, float]]
+) -> Dict[Tuple[str, str, str, int], Summary]:
+    """Per-cell CI summaries from a ``TablesResult.raw`` record list."""
+    groups: Dict[Tuple[str, str, str, int], List[float]] = {}
+    for metric, alg, method, ports, _sample, value in raw:
+        groups.setdefault((metric, alg, method, ports), []).append(value)
+    return {key: summarize(vals) for key, vals in groups.items()}
+
+
+def paired_table_comparison(
+    raw: Sequence[Tuple[str, str, str, int, int, float]],
+    metric: str,
+    alg_a: str,
+    alg_b: str,
+) -> Dict[Tuple[str, int], PairedComparison]:
+    """Paired comparisons of two algorithms per (method, ports) cell."""
+    values: Dict[Tuple[str, str, int, int], float] = {}
+    for m, alg, method, ports, sample, value in raw:
+        if m == metric and alg in (alg_a, alg_b):
+            values[(alg, method, ports, sample)] = value
+    out: Dict[Tuple[str, int], PairedComparison] = {}
+    cells = {(method, ports) for (_a, method, ports, _s) in values}
+    for method, ports in sorted(cells):
+        samples = sorted(
+            s for (alg, mth, pts, s) in values
+            if alg == alg_a and mth == method and pts == ports
+        )
+        a = [values[(alg_a, method, ports, s)] for s in samples]
+        b = [values[(alg_b, method, ports, s)] for s in samples]
+        if a and len(a) == len(b):
+            out[(method, ports)] = paired_compare(a, b)
+    return out

@@ -1,0 +1,196 @@
+"""Tables 1-4 — saturation-regime utilization statistics.
+
+The paper measures node utilization, traffic load, degree of hot spots
+and leaves utilization "when both routing algorithms reach their
+maximal throughputs".  ``run_tables`` reproduces this with saturated
+sources (offered load 1 flit/clock/node, queues never drain): for every
+sample, tree method and algorithm one saturated run provides all four
+metrics, which are then averaged over samples — one run feeds all four
+tables, as in the paper.
+
+``run_static_tables`` computes the same four metrics from the exact
+static path analysis instead (:mod:`repro.analysis`) — no simulation,
+full paper scale in seconds.  Absolute values differ from the dynamic
+run (no queueing, normalised loads); the paper's *orderings* (DOWN/UP
+vs L-turn, M1 vs M2 vs M3) are what it cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.static_load import static_utilization_report
+from repro.experiments.configs import ExperimentPreset
+from repro.experiments.harness import (
+    PAPER_ALGORITHMS,
+    PAPER_METHODS,
+    build_routings,
+    make_topology,
+)
+from repro.metrics.saturation import measure_at_saturation
+from repro.metrics.utilization import utilization_report
+from repro.util.rng import derive_seed
+from repro.util.tables import format_csv
+
+#: metric key -> (paper table number, pretty title)
+TABLE_METRICS: Dict[str, Tuple[int, str]] = {
+    "node_utilization": (1, "node utilization"),
+    "traffic_load": (2, "traffic load (stddev of node utilization)"),
+    "hot_spot_degree": (3, "degree of hot spots (%)"),
+    "leaves_utilization": (4, "leaves utilization"),
+}
+
+
+@dataclass
+class TablesResult:
+    """Aggregated Tables 1-4 data.
+
+    ``values[(metric, algorithm, method, ports)]`` is the mean over
+    samples; ``throughput[(algorithm, method, ports)]`` records the
+    accepted traffic of the saturated runs (context for EXPERIMENTS.md).
+    """
+
+    preset: str
+    kind: str  # "simulated" or "static"
+    samples: int
+    values: Dict[Tuple[str, str, str, int], float] = field(default_factory=dict)
+    throughput: Dict[Tuple[str, str, int], float] = field(default_factory=dict)
+    raw: List[Tuple[str, str, str, int, int, float]] = field(
+        default_factory=list
+    )  # (metric, algorithm, method, ports, sample, value)
+
+    def value(self, metric: str, algorithm: str, method: str, ports: int) -> float:
+        """Mean value of one cell of a paper table."""
+        return self.values[(metric, algorithm, method, ports)]
+
+    def to_csv(self) -> str:
+        """Every per-sample metric value as CSV."""
+        return format_csv(
+            ("metric", "algorithm", "method", "ports", "sample", "value"),
+            self.raw,
+        )
+
+
+def _aggregate(result: TablesResult) -> None:
+    sums: Dict[Tuple[str, str, str, int], List[float]] = {}
+    for metric, alg, method, ports, _sample, value in result.raw:
+        sums.setdefault((metric, alg, method, ports), []).append(value)
+    for key, vals in sums.items():
+        result.values[key] = sum(vals) / len(vals)
+
+
+def run_tables(
+    preset: ExperimentPreset,
+    ports_list: Optional[Sequence[int]] = None,
+    methods: Sequence[str] = PAPER_METHODS,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    out_dir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+) -> TablesResult:
+    """Regenerate Tables 1-4 by simulation at saturation.
+
+    ``workers > 1`` distributes the saturated runs over a process pool
+    (:mod:`repro.experiments.parallel`).
+    """
+    ports_list = tuple(ports_list if ports_list is not None else preset.ports)
+    result = TablesResult(preset=preset.name, kind="simulated", samples=preset.samples)
+    thr: Dict[Tuple[str, str, int], List[float]] = {}
+
+    if workers > 1:
+        from repro.experiments.parallel import run_parallel, tables_units
+
+        units = tables_units(preset, ports_list, methods, algorithms)
+        for res in run_parallel(units, max_workers=workers, progress=progress):
+            alg, method, ports, sample, _rate = res["key"]
+            for metric, value in res["report"].items():
+                result.raw.append((metric, alg, method, ports, sample, value))
+            thr.setdefault((alg, method, ports), []).append(res["accepted"])
+        _aggregate(result)
+        for key, vals in thr.items():
+            result.throughput[key] = sum(vals) / len(vals)
+        if out_dir is not None:
+            out_dir = Path(out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / "tables_simulated.csv").write_text(
+                result.to_csv() + "\n", encoding="utf-8"
+            )
+        return result
+
+    for ports in ports_list:
+        for sample in range(preset.samples):
+            topology = make_topology(preset, ports, sample)
+            routings = build_routings(
+                topology, preset, sample, methods=methods, algorithms=algorithms
+            )
+            for (alg, method), (routing, tree) in routings.items():
+                seed = derive_seed(preset.seed, 0x7AB, ports, sample)
+                cfg = preset.sim_config(seed)
+                stats = measure_at_saturation(routing, cfg)
+                report = utilization_report(stats.channel_utilization(), tree)
+                for metric, value in report.items():
+                    result.raw.append(
+                        (metric, alg, method, ports, sample, value)
+                    )
+                thr.setdefault((alg, method, ports), []).append(
+                    stats.accepted_traffic
+                )
+                if progress is not None:
+                    progress(
+                        f"[tables/{ports}p] sample {sample} {alg}/{method}: "
+                        f"throughput={stats.accepted_traffic:.4f} "
+                        f"hotspots={report['hot_spot_degree']:.2f}%"
+                    )
+    _aggregate(result)
+    for key, vals in thr.items():
+        result.throughput[key] = sum(vals) / len(vals)
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "tables_simulated.csv").write_text(
+            result.to_csv() + "\n", encoding="utf-8"
+        )
+    return result
+
+
+def run_static_tables(
+    preset: ExperimentPreset,
+    ports_list: Optional[Sequence[int]] = None,
+    methods: Sequence[str] = PAPER_METHODS,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    out_dir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> TablesResult:
+    """Tables 1-4 metrics from the exact static path analysis."""
+    ports_list = tuple(ports_list if ports_list is not None else preset.ports)
+    result = TablesResult(preset=preset.name, kind="static", samples=preset.samples)
+
+    for ports in ports_list:
+        for sample in range(preset.samples):
+            topology = make_topology(preset, ports, sample)
+            routings = build_routings(
+                topology, preset, sample, methods=methods, algorithms=algorithms
+            )
+            for (alg, method), (routing, tree) in routings.items():
+                report = static_utilization_report(routing, tree)
+                for metric, value in report.items():
+                    result.raw.append(
+                        (metric, alg, method, ports, sample, value)
+                    )
+                if progress is not None:
+                    progress(
+                        f"[static/{ports}p] sample {sample} {alg}/{method}: "
+                        f"hotspots={report['hot_spot_degree']:.2f}%"
+                    )
+    _aggregate(result)
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "tables_static.csv").write_text(
+            result.to_csv() + "\n", encoding="utf-8"
+        )
+    return result

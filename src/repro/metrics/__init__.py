@@ -1,0 +1,58 @@
+"""Evaluation metrics (Section 5 definitions, executable).
+
+The paper characterises the algorithms at their maximal throughput with
+four channel-utilization statistics plus the latency/throughput curves:
+
+* **node utilization** — per switch, the summed utilization of its
+  inter-switch output channels divided by its degree (Table 1);
+* **traffic load** — the standard deviation of node utilization over
+  all switches (Table 2; smaller = better balanced);
+* **degree of hot spots** — the percentage of total node utilization
+  held by switches in levels 0 and 1 of the coordinated tree (Table 3);
+* **leaves utilization** — mean node utilization over the coordinated
+  tree's leaves (Table 4);
+* **message latency / accepted traffic** — Figure 8.
+
+All functions work from a per-channel utilization vector, so they apply
+equally to simulator output (:class:`repro.simulator.SimulationStats`)
+and to the static path analysis (:mod:`repro.analysis`).
+"""
+
+from repro.metrics.utilization import (
+    degree_of_hot_spots,
+    leaves_utilization,
+    node_utilization,
+    traffic_load,
+    utilization_report,
+)
+from repro.metrics.direction_flow import direction_flow_shares, tree_link_share
+from repro.metrics.profile import (
+    level_share_profile,
+    level_utilization_profile,
+    render_level_profile,
+)
+from repro.metrics.saturation import (
+    RatePoint,
+    find_saturation_point,
+    measure_at_saturation,
+    saturation_throughput,
+    sweep_injection_rates,
+)
+
+__all__ = [
+    "node_utilization",
+    "traffic_load",
+    "degree_of_hot_spots",
+    "leaves_utilization",
+    "utilization_report",
+    "level_share_profile",
+    "level_utilization_profile",
+    "render_level_profile",
+    "direction_flow_shares",
+    "tree_link_share",
+    "find_saturation_point",
+    "RatePoint",
+    "sweep_injection_rates",
+    "measure_at_saturation",
+    "saturation_throughput",
+]

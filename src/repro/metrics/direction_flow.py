@@ -1,0 +1,64 @@
+"""Traffic decomposition by direction class.
+
+The DOWN/UP design goal is literal: *push traffic down the tree and off
+the tree links near the root*.  This module measures that directly by
+attributing channel utilization (simulated or static) to the turn
+model's direction classes — e.g. what fraction of all flit-hops used
+``LU_TREE`` channels?  A successful DOWN/UP run shows a smaller
+``LU_TREE``/``RD_TREE`` share and a larger down-cross share than
+up*/down* on the same network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.routing.base import RoutingFunction
+
+
+def direction_flow_shares(
+    routing: RoutingFunction, channel_util: np.ndarray
+) -> Dict[str, float]:
+    """Fraction of total channel utilization per direction class.
+
+    Uses the routing's own classification (8 classes for DOWN/UP, 4 for
+    L-turn, 2 for up*/down*), keyed by class name; values sum to 1 for
+    non-zero traffic.
+    """
+    tm = routing.turn_model
+    util = np.asarray(channel_util, dtype=float)
+    if len(util) != routing.topology.num_channels:
+        raise ValueError(
+            f"expected {routing.topology.num_channels} utilizations, got "
+            f"{len(util)}"
+        )
+    total = float(util.sum())
+    shares: Dict[str, float] = {name: 0.0 for name in tm.class_names}
+    if total <= 0:
+        return shares
+    for cid, value in enumerate(util):
+        shares[tm.class_names[tm.channel_class[cid]]] += float(value) / total
+    return shares
+
+
+def tree_link_share(
+    routing: RoutingFunction, channel_util: np.ndarray, tree
+) -> float:
+    """Fraction of utilization carried by tree links (vs cross links).
+
+    Classification-independent (uses the coordinated tree directly), so
+    it compares across algorithms with different direction classes.
+    """
+    topo = routing.topology
+    util = np.asarray(channel_util, dtype=float)
+    total = float(util.sum())
+    if total <= 0:
+        return 0.0
+    on_tree = sum(
+        float(util[ch.cid])
+        for ch in topo.channels
+        if tree.is_tree_link(ch.start, ch.sink)
+    )
+    return on_tree / total

@@ -1,0 +1,99 @@
+"""Channel-utilization statistics (Tables 1-4 definitions).
+
+Every function takes the per-channel utilization vector (flits per clock
+per channel — :meth:`repro.simulator.SimulationStats.channel_utilization`
+or the static estimate from :mod:`repro.analysis.static_load`) plus the
+structural objects the definition references (topology, coordinated
+tree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.coordinated_tree import CoordinatedTree
+from repro.topology.graph import Topology
+
+
+def node_utilization(
+    channel_util: np.ndarray, topology: Topology
+) -> np.ndarray:
+    """Per-switch node utilization (Table 1 definition).
+
+    "The node utilization of a node is defined as the sum of utilization
+    of all output channels of the node divided by the number of ports
+    connecting to other switches."  Only inter-switch channels exist in
+    ``channel_util``; injection/consumption ports are excluded by
+    construction.
+    """
+    if len(channel_util) != topology.num_channels:
+        raise ValueError(
+            f"expected {topology.num_channels} channel utilizations, got "
+            f"{len(channel_util)}"
+        )
+    out = np.zeros(topology.n, dtype=float)
+    for v in range(topology.n):
+        outs = topology.output_channels(v)
+        if outs:
+            out[v] = float(sum(channel_util[c] for c in outs)) / len(outs)
+    return out
+
+
+def traffic_load(node_util: np.ndarray) -> float:
+    """Traffic load (Table 2): population stddev of node utilization.
+
+    Smaller means a better-balanced load.
+    """
+    return float(np.std(np.asarray(node_util, dtype=float)))
+
+
+def degree_of_hot_spots(
+    node_util: np.ndarray, tree: CoordinatedTree
+) -> float:
+    """Degree of hot spots (Table 3), in percent.
+
+    "The percentage of the node utilization of nodes in levels 0 and 1
+    of a coordinated tree" — i.e. the share of total node utilization
+    concentrated at the root and its children.  Returns 0 when the
+    network carries no traffic at all.
+    """
+    util = np.asarray(node_util, dtype=float)
+    total = float(util.sum())
+    if total == 0.0:
+        return 0.0
+    top = sum(float(util[v]) for v in range(tree.n) if tree.y[v] <= 1)
+    return 100.0 * top / total
+
+
+def leaves_utilization(
+    node_util: np.ndarray, tree: CoordinatedTree
+) -> float:
+    """Leaves utilization (Table 4): mean node utilization over CT leaves.
+
+    Higher means more traffic flows via the leaves, away from the root.
+    """
+    leaves = tree.leaves()
+    if not leaves:
+        return 0.0
+    util = np.asarray(node_util, dtype=float)
+    return float(np.mean([util[v] for v in leaves]))
+
+
+def utilization_report(
+    channel_util: np.ndarray, tree: CoordinatedTree
+) -> Dict[str, float]:
+    """All four table metrics for one run, as a dict.
+
+    Keys: ``node_utilization`` (mean over switches — the Table 1
+    aggregate), ``traffic_load``, ``hot_spot_degree`` (percent),
+    ``leaves_utilization``.
+    """
+    nu = node_utilization(channel_util, tree.topology)
+    return {
+        "node_utilization": float(np.mean(nu)),
+        "traffic_load": traffic_load(nu),
+        "hot_spot_degree": degree_of_hot_spots(nu, tree),
+        "leaves_utilization": leaves_utilization(nu, tree),
+    }

@@ -1,0 +1,85 @@
+"""Routing functions, their construction, and their verification.
+
+This package hosts the machinery shared by all tree-based routing
+algorithms in the reproduction:
+
+``base``
+    :class:`TurnModel` (per-node allowed-turn state over a channel
+    classification) and :class:`RoutingFunction` (the object the
+    simulator and the static analysis consume).
+``channel_graph``
+    The channel dependency graph: turn-cycle search (Lemma 1/Theorem 1
+    made executable) and turn-restricted shortest-path BFS.
+``table``
+    All-pairs adaptive routing tables over shortest admissible paths.
+``updown``
+    The up*/down* baseline (BFS and DFS spanning-tree variants).
+``lturn``
+    The L-turn baseline reconstruction and the Left-Right routing of the
+    same 2-D turn-model family.
+``verification``
+    Deadlock-freedom (channel-dependency acyclicity) and turn-restricted
+    connectivity assertions applied to every routing function we build.
+"""
+
+from repro.routing.base import RoutingFunction, TurnModel
+from repro.routing.channel_graph import (
+    dependency_adjacency,
+    find_turn_cycle,
+    would_close_cycle,
+)
+from repro.routing.table import build_routing_function
+from repro.routing.updown import build_up_down_routing
+from repro.routing.lturn import build_l_turn_routing, build_left_right_routing
+from repro.routing.diagnostics import (
+    adaptivity,
+    compare_routings,
+    path_length_stats,
+    turn_usage,
+)
+from repro.routing.duato import (
+    DuatoRouting,
+    build_duato_routing,
+    build_fully_adaptive_minimal,
+)
+from repro.routing.release import release_prohibited_turns
+from repro.routing.serialization import (
+    load_routing,
+    routing_from_json,
+    routing_to_json,
+    save_routing,
+)
+from repro.routing.verification import (
+    VerificationError,
+    assert_connected,
+    assert_deadlock_free,
+    verify_routing,
+)
+
+__all__ = [
+    "RoutingFunction",
+    "TurnModel",
+    "dependency_adjacency",
+    "find_turn_cycle",
+    "would_close_cycle",
+    "build_routing_function",
+    "build_up_down_routing",
+    "build_l_turn_routing",
+    "build_left_right_routing",
+    "adaptivity",
+    "compare_routings",
+    "path_length_stats",
+    "turn_usage",
+    "DuatoRouting",
+    "build_duato_routing",
+    "build_fully_adaptive_minimal",
+    "release_prohibited_turns",
+    "routing_to_json",
+    "routing_from_json",
+    "save_routing",
+    "load_routing",
+    "VerificationError",
+    "assert_connected",
+    "assert_deadlock_free",
+    "verify_routing",
+]

@@ -1,0 +1,99 @@
+"""Generic per-switch prohibited-turn release engine.
+
+This is the algorithmic core of the paper's Phase-3 ``cycle_detection``
+(Section 4.3), factored so that any turn-model routing can reuse it: the
+DOWN/UP wrapper with the paper's candidate turns lives in
+:mod:`repro.core.cycle_detection`; the L-turn and Left-Right baselines
+call it with their own candidates.
+
+For every switch and every (input channel, output channel) pair whose
+class pair is among the *candidates*, the engine releases the prohibited
+turn unless doing so would close a turn cycle.  The safety test is plain
+reachability in the channel dependency graph
+(:func:`repro.routing.channel_graph.would_close_cycle`), and accepted
+releases are added to the graph immediately, so the "no turn cycle"
+invariant holds after every step regardless of iteration order.
+
+Complexity matches the paper's ``O(d * |V|^2)``: each of the
+``O(d * |V|)`` candidate pairs runs one DFS over the ``O(d * |V|)``
+dependency graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence, Tuple
+
+from repro.routing.base import TurnModel
+from repro.routing.channel_graph import dependency_adjacency, would_close_cycle
+
+ClassPair = Tuple[int, int]
+
+
+class Release(NamedTuple):
+    """One accepted release: turn (e_in -> e_out) at *switch*.
+
+    ``classes`` records the (input class, output class) pair the release
+    belongs to, in the turn model's classification.
+    """
+
+    switch: int
+    e_in: int
+    e_out: int
+    classes: ClassPair
+
+
+def release_prohibited_turns(
+    turn_model: TurnModel,
+    candidates: Sequence[ClassPair],
+) -> List[Release]:
+    """Release every candidate turn that cannot close a cycle.
+
+    Mutates *turn_model* (channel-pair exceptions) and returns the
+    accepted releases in application order.  Candidate pairs already
+    allowed at a switch are skipped silently.
+    """
+    topo = turn_model.topology
+    cls = turn_model.channel_class
+    pairs = [(int(a), int(b)) for a, b in candidates]
+    adj = dependency_adjacency(turn_model)
+    releases: List[Release] = []
+
+    for v in range(topo.n):
+        inputs = topo.input_channels(v)
+        outputs = topo.output_channels(v)
+        for frm, to in pairs:
+            ins = [c for c in inputs if cls[c] == frm]
+            outs = [c for c in outputs if cls[c] == to]
+            for e_in in ins:
+                for e_out in outs:
+                    if e_out == (e_in ^ 1):
+                        continue
+                    if turn_model.is_turn_allowed(v, e_in, e_out):
+                        continue  # already allowed (nothing to release)
+                    if would_close_cycle(adj, e_in, e_out):
+                        continue  # paper: "turn ... can not be released"
+                    turn_model.allow_channel_pair(e_in, e_out)
+                    adj[e_in].append(e_out)
+                    releases.append(Release(v, e_in, e_out, (frm, to)))
+    return releases
+
+
+def count_prohibited_pairs(turn_model: TurnModel) -> Tuple[int, int]:
+    """(prohibited, total) turn pairs across all switches.
+
+    A diagnostic used by reports and tests: a release pass strictly
+    reduces the prohibited count whenever any release was accepted.
+    U-turns are excluded (never turns in the Definition-6 sense here).
+    """
+    topo = turn_model.topology
+    prohibited = 0
+    total = 0
+    for v in range(topo.n):
+        for e_in in topo.input_channels(v):
+            for e_out in topo.output_channels(v):
+                if e_out == (e_in ^ 1):
+                    continue
+                total += 1
+                if not turn_model.is_turn_allowed(v, e_in, e_out):
+                    prohibited += 1
+    return prohibited, total

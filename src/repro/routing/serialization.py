@@ -1,0 +1,116 @@
+"""Serialization of routing functions.
+
+Archival experiment runs save the exact routing tables next to their
+results so any number can be re-audited without re-running the
+construction (and so non-Python consumers — e.g. a C simulator — can
+load them).  The format is JSON:
+
+```
+{"format": "repro-routing-v1", "name": ..., "topology": {...},
+ "channel_class": [...], "class_names": [...],
+ "base_allowed": [[...]], "pair_exceptions": [[cin, cout], ...],
+ "node_overrides": {"<switch>": [[...]]},
+ "dist": [[...]], "next_hops": [[[...]]], "first_hops": [[[...]]]}
+```
+
+``load_routing`` rebuilds a fully functional
+:class:`~repro.routing.base.RoutingFunction` (turn model included) and
+re-verifies it, so a tampered file cannot smuggle in a deadlocking
+table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.routing.base import RoutingFunction, TurnModel
+from repro.routing.verification import verify_routing
+from repro.topology.serialization import topology_from_json, topology_to_json
+
+FORMAT = "repro-routing-v1"
+
+
+def routing_to_json(routing: RoutingFunction) -> str:
+    """Serialize *routing* (tables + turn model + topology) to JSON."""
+    tm = routing.turn_model
+    payload = {
+        "format": FORMAT,
+        "name": routing.name,
+        "topology": json.loads(topology_to_json(routing.topology)),
+        "channel_class": [int(c) for c in tm.channel_class],
+        "class_names": list(tm.class_names),
+        "base_allowed": tm.base_matrix.tolist(),
+        "node_overrides": {
+            str(v): tm.allowed_matrix(v).tolist()
+            for v in tm.overridden_switches()
+        },
+        "pair_exceptions": [list(p) for p in tm.released_channel_pairs()],
+        "dist": np.asarray(routing.dist).tolist(),
+        "next_hops": [
+            [list(opts) for opts in per_dest] for per_dest in routing.next_hops
+        ],
+        "first_hops": [
+            [list(opts) for opts in per_dest] for per_dest in routing.first_hops
+        ],
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def routing_from_json(text: str, verify: bool = True) -> RoutingFunction:
+    """Rebuild a routing function from :func:`routing_to_json` output.
+
+    With *verify* (default) the result passes the full Theorem-1 checks
+    before being returned.
+    """
+    data = json.loads(text)
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported routing format {data.get('format')!r}"
+        )
+    topology = topology_from_json(json.dumps(data["topology"]))
+    tm = TurnModel(
+        topology,
+        data["channel_class"],
+        np.asarray(data["base_allowed"], dtype=bool),
+        class_names=data["class_names"],
+    )
+    for v_str, matrix in data.get("node_overrides", {}).items():
+        v = int(v_str)
+        m = np.asarray(matrix, dtype=bool)
+        for i in range(tm.num_classes):
+            for j in range(tm.num_classes):
+                tm.set_turn(v, i, j, bool(m[i, j]))
+    for cin, cout in data.get("pair_exceptions", []):
+        tm.allow_channel_pair(int(cin), int(cout))
+    dist = np.asarray(data["dist"], dtype=np.int32)
+    dist.setflags(write=False)
+    routing = RoutingFunction(
+        topology=topology,
+        name=data["name"],
+        turn_model=tm,
+        dist=dist,
+        next_hops=tuple(
+            tuple(tuple(opts) for opts in per_dest)
+            for per_dest in data["next_hops"]
+        ),
+        first_hops=tuple(
+            tuple(tuple(opts) for opts in per_dest)
+            for per_dest in data["first_hops"]
+        ),
+        meta={"loaded": True},
+    )
+    return verify_routing(routing) if verify else routing
+
+
+def save_routing(routing: RoutingFunction, path: Union[str, Path]) -> None:
+    """Write *routing* to *path* as JSON."""
+    Path(path).write_text(routing_to_json(routing) + "\n", encoding="utf-8")
+
+
+def load_routing(path: Union[str, Path], verify: bool = True) -> RoutingFunction:
+    """Read a routing previously written by :func:`save_routing`."""
+    return routing_from_json(Path(path).read_text(encoding="utf-8"), verify)

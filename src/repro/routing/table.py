@@ -1,0 +1,51 @@
+"""All-pairs adaptive routing tables (shortest admissible paths).
+
+Builds the :class:`~repro.routing.base.RoutingFunction` for a turn model
+by running the turn-restricted BFS of
+:func:`repro.routing.channel_graph.shortest_path_dags` once per
+destination.  Cost: ``O(|V| * |C| * d)`` — for the paper's largest
+configuration (128 switches, 8 ports, ~1024 channels) well under a
+second.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.routing.base import RoutingFunction, TurnModel
+from repro.routing.channel_graph import shortest_path_dags
+
+
+def build_routing_function(
+    turn_model: TurnModel,
+    name: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> RoutingFunction:
+    """Precompute shortest-admissible-path tables for every destination.
+
+    The resulting routing function is *adaptive*: every minimal
+    admissible candidate is retained, and the simulator picks among the
+    free ones at run time (randomly on ties, per Section 5).
+    """
+    topo = turn_model.topology
+    n = topo.n
+    dist = np.full((n, topo.num_channels), RoutingFunction.UNREACHABLE, np.int32)
+    next_hops = []
+    first_hops = []
+    for d in range(n):
+        dd, nh, fh = shortest_path_dags(turn_model, d)
+        dist[d, :] = dd
+        next_hops.append(tuple(nh))
+        first_hops.append(tuple(fh))
+    dist.setflags(write=False)
+    return RoutingFunction(
+        topology=topo,
+        name=name,
+        turn_model=turn_model,
+        dist=dist,
+        next_hops=tuple(next_hops),
+        first_hops=tuple(first_hops),
+        meta=dict(meta or {}),
+    )

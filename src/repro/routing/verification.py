@@ -1,0 +1,109 @@
+"""Machine verification of routing functions (Theorem 1, executable).
+
+Every routing function constructed anywhere in this repository is passed
+through :func:`verify_routing`, which asserts the two halves of the
+paper's Theorem 1:
+
+* **deadlock freedom** — the channel dependency graph restricted to the
+  turn model is acyclic (Dally-Seitz sufficient condition for wormhole
+  networks; equivalently "no turn cycle", Lemma 1);
+* **connectivity** — under the turn restrictions, every ordered switch
+  pair has at least one admissible path (and the routing tables expose a
+  minimal one).
+
+Because the checks run on the *instance* (a concrete topology and tree),
+they also validate constructions whose global argument is reconstructed
+rather than quoted — notably the L-turn baseline — and they catch the
+paper's Section 4.3 transcription error (see
+:mod:`repro.core.direction_graph`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.routing.base import RoutingFunction, TurnModel
+from repro.routing.channel_graph import find_turn_cycle
+
+
+class VerificationError(AssertionError):
+    """A routing function violates deadlock freedom or connectivity."""
+
+
+def assert_deadlock_free(turn_model: TurnModel, name: str = "routing") -> None:
+    """Raise :class:`VerificationError` if a turn cycle exists.
+
+    The error message includes the offending channel cycle (switch path
+    and per-channel classes) so a failure is directly debuggable.
+    """
+    cycle = find_turn_cycle(turn_model)
+    if cycle is None:
+        return
+    topo = turn_model.topology
+    names = turn_model.class_names
+    pretty = " -> ".join(
+        f"<{topo.channel(c).start},{topo.channel(c).sink}>"
+        f"[{names[turn_model.channel_class[c]]}]"
+        for c in cycle
+    )
+    raise VerificationError(
+        f"{name}: channel dependency graph has a cycle: {pretty}"
+    )
+
+
+def assert_connected(routing: RoutingFunction) -> None:
+    """Raise :class:`VerificationError` unless all pairs are routable."""
+    n = routing.topology.n
+    missing: List[tuple] = []
+    for d in range(n):
+        fh = routing.first_hops[d]
+        for s in range(n):
+            if s != d and not fh[s]:
+                missing.append((s, d))
+    if missing:
+        raise VerificationError(
+            f"{routing.name}: {len(missing)} unroutable pairs, e.g. "
+            f"{missing[:5]}"
+        )
+
+
+def assert_progress(routing: RoutingFunction) -> None:
+    """Raise unless every en-route state keeps a next hop (no stranding).
+
+    For every destination ``d`` and channel ``c`` with finite remaining
+    distance > 0, the candidate set must be non-empty and each candidate
+    must strictly decrease the distance — together with acyclicity this
+    rules out livelock for the adaptive simulator.
+    """
+    dist = routing.dist
+    for d in range(routing.topology.n):
+        nh = routing.next_hops[d]
+        row = dist[d]
+        for c, opts in enumerate(nh):
+            rem = int(row[c])
+            if rem in (0, RoutingFunction.UNREACHABLE):
+                continue
+            if not opts:
+                raise VerificationError(
+                    f"{routing.name}: dest {d}, channel {c} at distance "
+                    f"{rem} has no admissible next hop"
+                )
+            for b in opts:
+                if int(row[b]) != rem - 1:
+                    raise VerificationError(
+                        f"{routing.name}: dest {d}, hop {c}->{b} does not "
+                        f"decrease distance ({rem} -> {int(row[b])})"
+                    )
+
+
+def verify_routing(routing: RoutingFunction) -> RoutingFunction:
+    """Run all checks on *routing*; return it unchanged on success.
+
+    Intended to be used in-line by builders::
+
+        return verify_routing(build_routing_function(tm, name="down-up"))
+    """
+    assert_deadlock_free(routing.turn_model, routing.name)
+    assert_connected(routing)
+    assert_progress(routing)
+    return routing

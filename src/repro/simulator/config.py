@@ -1,0 +1,152 @@
+"""Simulation configuration.
+
+One frozen dataclass holds every knob of the wormhole engine, with
+defaults matching the paper's Section 5 setup (128-flit packets,
+one-clock link/routing/transfer delays, uniform traffic).  Experiment
+presets (paper / midscale / quick) build on top of this in
+:mod:`repro.experiments.configs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one wormhole simulation run.
+
+    Attributes
+    ----------
+    packet_length:
+        Flits per packet, header included (paper: 128).
+    injection_rate:
+        Offered load in flits/clock/node.  Each clock every node
+        generates a packet with probability ``injection_rate /
+        packet_length`` (Bernoulli process; expectation matches the
+        offered load).
+    warmup_clocks, measure_clocks:
+        Statistics are reset after the warmup and collected for the
+        measurement window; the run lasts their sum.
+    buffer_flits:
+        Input-buffer capacity per channel in flits.  The default 2 lets
+        a steady worm stream at 1 flit/clock under the two-phase update
+        (capacity 1 would model a bufferless pipeline at half rate).
+    header_delay:
+        Clocks between a header reaching the front of a buffer and the
+        flit moving on: 1 clock routing/arbitration + 1 clock
+        input-to-output transfer (paper's accounting).
+    link_delay:
+        Clocks a flit spends on the wire after leaving a switch.
+    seed:
+        Random seed for traffic, adaptive tie-breaks and arbitration.
+    deadlock_interval:
+        Watchdog: raise if no flit moves for this many consecutive
+        clocks while worms hold channels.  ``0`` disables the check.
+    max_queue:
+        Optional cap on per-node injection queues (``None`` =
+        unbounded); when capped, generation at a full queue is dropped
+        and counted, modelling a finite-source experiment.
+    selection_policy:
+        How a header picks among several *free* admissible candidates:
+        ``"random"`` (the paper: "one of them is selected randomly"),
+        ``"first"`` (deterministic: lowest channel id), or
+        ``"least-congested"`` (emptiest downstream buffer, ties random)
+        — a common router heuristic, exposed for ablation.
+    length_mix:
+        Optional bimodal/multimodal packet-length distribution: a tuple
+        of ``(length, weight)`` pairs sampled per packet.  ``None``
+        (default) uses the fixed *packet_length*.  The offered load in
+        flits/clock/node is preserved: the per-clock generation
+        probability uses the *mean* length of the mix.
+    """
+
+    packet_length: int = 128
+    injection_rate: float = 0.1
+    warmup_clocks: int = 5_000
+    measure_clocks: int = 15_000
+    buffer_flits: int = 2
+    header_delay: int = 2
+    link_delay: int = 1
+    seed: Optional[int] = 0
+    deadlock_interval: int = 2_000
+    max_queue: Optional[int] = None
+    selection_policy: str = "random"
+    length_mix: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.packet_length < 1:
+            raise ValueError("packet_length must be >= 1")
+        if self.injection_rate < 0:
+            raise ValueError("injection_rate must be >= 0")
+        if self.injection_rate / self.packet_length > 1.0:
+            raise ValueError(
+                "injection_rate implies more than one packet per clock "
+                "per node; raise packet_length or lower the rate"
+            )
+        if self.buffer_flits < 1:
+            raise ValueError("buffer_flits must be >= 1")
+        if self.header_delay < 0 or self.link_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.warmup_clocks < 0 or self.measure_clocks <= 0:
+            raise ValueError("need a positive measurement window")
+        if self.selection_policy not in ("random", "first", "least-congested"):
+            raise ValueError(
+                f"unknown selection policy {self.selection_policy!r}"
+            )
+        if self.length_mix is not None:
+            mix = tuple(self.length_mix)
+            if not mix:
+                raise ValueError("length_mix must be non-empty when given")
+            for length, weight in mix:
+                if int(length) < 1 or weight <= 0:
+                    raise ValueError(
+                        f"bad length_mix entry ({length}, {weight})"
+                    )
+            object.__setattr__(self, "length_mix", mix)
+
+    @property
+    def mean_packet_length(self) -> float:
+        """Mean flits per packet (the mix mean, or *packet_length*)."""
+        if self.length_mix is None:
+            return float(self.packet_length)
+        total_w = sum(w for _l, w in self.length_mix)
+        return sum(int(l) * w for l, w in self.length_mix) / total_w
+
+    def sample_length(self, rng) -> int:
+        """Draw one packet length (fixed, or from the mix)."""
+        if self.length_mix is None:
+            return self.packet_length
+        weights = [w for _l, w in self.length_mix]
+        total = sum(weights)
+        x = rng.random() * total
+        acc = 0.0
+        for length, weight in self.length_mix:
+            acc += weight
+            if x < acc:
+                return int(length)
+        return int(self.length_mix[-1][0])
+
+    @property
+    def total_clocks(self) -> int:
+        """Run length: warmup plus measurement."""
+        return self.warmup_clocks + self.measure_clocks
+
+    @property
+    def packet_probability(self) -> float:
+        """Per-node, per-clock Bernoulli generation probability.
+
+        Uses the mean packet length so the offered load (in
+        flits/clock/node) is exactly *injection_rate* under any
+        ``length_mix``.
+        """
+        return self.injection_rate / self.mean_packet_length
+
+    def with_rate(self, injection_rate: float) -> "SimulationConfig":
+        """Copy of this config at a different offered load."""
+        return replace(self, injection_rate=injection_rate)
+
+    def with_seed(self, seed: Optional[int]) -> "SimulationConfig":
+        """Copy of this config with a different seed."""
+        return replace(self, seed=seed)

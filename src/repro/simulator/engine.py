@@ -1,0 +1,420 @@
+"""The wormhole simulation engine.
+
+A synchronous, two-phase, cycle-accurate model.  Every clock:
+
+1. **Plan body moves** from start-of-clock state: for each worm, one
+   flit may advance across every adjacent channel pair of its chain
+   (1 flit/clock/channel in each direction), one flit may be consumed
+   at the destination, and one flit may be fed from the source.
+2. **Plan and grant header moves**: headers whose routing delay has
+   elapsed request the admissible minimal output channels that are free
+   (start-of-clock occupancy); requests are arbitrated in random order
+   and each channel is granted at most once.  Headers whose sink is the
+   destination request the consumption port instead; packets at the
+   front of a source queue request the injection port plus a first
+   channel.
+3. **Commit** all plans, release drained tail channels and finished
+   ports, collect statistics, periodically run the exact wait-for
+   deadlock analysis (:meth:`WormholeSimulator.find_deadlocked_worms`),
+   and generate new packets (Bernoulli per node, destinations from the
+   traffic pattern).
+
+Because plans are computed against start-of-clock state, the update is
+order-independent (no switch-iteration artifacts), and because a worm
+never releases a channel before its tail has drained, blocked worms
+hold resources exactly as wormhole switching demands — an admitted turn
+cycle *will* deadlock, which the watchdog turns into a loud
+:class:`DeadlockDetected` (exercised by tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.base import RoutingFunction
+from repro.simulator.config import SimulationConfig
+from repro.simulator.packet import Worm
+from repro.simulator.stats import SimulationStats, StatsCollector
+from repro.simulator.traffic import TrafficPattern, UniformTraffic
+from repro.util.rng import as_generator
+
+FREE = -1
+
+
+class DeadlockDetected(RuntimeError):
+    """Wait-for analysis found worms that can never progress again."""
+
+
+class WormholeSimulator:
+    """Cycle-accurate wormhole simulation of one routing function.
+
+    Parameters
+    ----------
+    routing:
+        A verified :class:`~repro.routing.base.RoutingFunction`.
+    config:
+        Timing and workload parameters.
+    traffic:
+        Destination sampler; defaults to the paper's uniform pattern.
+
+    Typical use is the one-shot :func:`simulate` helper; instantiate the
+    class directly when stepping manually (tests) or inspecting state.
+    """
+
+    def __init__(
+        self,
+        routing: RoutingFunction,
+        config: SimulationConfig,
+        traffic: Optional[TrafficPattern] = None,
+    ) -> None:
+        self.routing = routing
+        self.topology = routing.topology
+        self.config = config
+        self.traffic = traffic if traffic is not None else UniformTraffic(self.topology.n)
+        self.rng = as_generator(config.seed)
+
+        n = self.topology.n
+        #: channel occupancy: worm pid or FREE.  A plain list, not a
+        #: numpy array — the engine reads single elements in a tight
+        #: Python loop, where list indexing is several times faster.
+        self.channel_occ: List[int] = [FREE] * self.topology.num_channels
+        #: channel sink switch, precomputed (hot-loop lookup)
+        self._sink = [ch.sink for ch in self.topology.channels]
+        self.injection_occ = [FREE] * n
+        self.consume_occ = [FREE] * n
+        self.queues: List[Deque[Worm]] = [deque() for _ in range(n)]
+        self.active: List[Worm] = []
+        self.worms: Dict[int, Worm] = {}
+        self.clock = 0
+        self._next_pid = 0
+        self._last_progress = 0
+        self.stats = StatsCollector(self.topology)
+        self._check_invariants = False
+        #: optional :class:`repro.simulator.trace.TraceRecorder`
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # public driver
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run warmup + measurement and return the window statistics."""
+        cfg = self.config
+        for _ in range(cfg.warmup_clocks):
+            self.step()
+        self.stats.active = True
+        for _ in range(cfg.measure_clocks):
+            self.step()
+            self.stats.window_clocks += 1
+            self.stats.on_tick()
+        backlog = sum(len(q) for q in self.queues)
+        return self.stats.finalize(queue_backlog=backlog)
+
+    def enable_invariant_checks(self) -> None:
+        """Verify flit conservation for every worm each clock (tests)."""
+        self._check_invariants = True
+
+    # ------------------------------------------------------------------
+    # one clock
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one clock."""
+        progressed = self._move_bodies_and_heads()
+        if progressed:
+            self._last_progress = self.clock
+        interval = self.config.deadlock_interval
+        if interval and self.clock % interval == interval - 1:
+            dead = self.find_deadlocked_worms()
+            if dead:
+                raise DeadlockDetected(self._deadlock_report(dead))
+        self._generate_packets()
+        if self._check_invariants:
+            for w in self.active:
+                w.check_invariant()
+        self.clock += 1
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _move_bodies_and_heads(self) -> bool:
+        cap = self.config.buffer_flits
+        stats = self.stats
+        clock = self.clock
+        topo = self.topology
+        progressed = False
+
+        # -- phase 1: plan body moves from start-of-clock state ---------
+        # each entry: (worm, kind, index); kinds: consume / advance / feed
+        body_plans: List[Tuple[Worm, str, int]] = []
+        for w in self.active:
+            cf = w.chain_flits
+            if w.consuming and cf and cf[0] > 0:
+                body_plans.append((w, "consume", 0))
+            for i in range(len(cf) - 1):
+                if cf[i + 1] > 0 and cf[i] < cap:
+                    body_plans.append((w, "advance", i))
+            if w.flits_at_source > 0 and cf and cf[-1] < cap:
+                body_plans.append((w, "feed", len(cf) - 1))
+
+        # -- phase 2: header requests on start-of-clock occupancy -------
+        # in-network headers: head at front of chain[0], routing delay done
+        header_requests: List[Tuple[Worm, Optional[int], Tuple[int, ...]]] = []
+        for w in self.active:
+            if w.consuming or not w.chain or w.head_ready_at > clock:
+                continue
+            head = w.chain[0]
+            node = self._sink[head]
+            if node == w.dst:
+                header_requests.append((w, None, ()))  # consumption request
+            else:
+                cands = self.routing.next_hops[w.dst][head]
+                header_requests.append((w, head, cands))
+        # injection headers: queue fronts whose injection port is free
+        for s, q in enumerate(self.queues):
+            if q and self.injection_occ[s] == FREE:
+                w = q[0]
+                if w.head_ready_at <= clock:
+                    cands = self.routing.first_hops[w.dst][s]
+                    header_requests.append((w, -1, cands))
+
+        # arbitrate in random order; each channel / consumption port
+        # granted at most once per clock
+        grants: List[Tuple[Worm, int, int]] = []  # (worm, origin, target)
+        if header_requests:
+            order = self.rng.permutation(len(header_requests))
+            granted_channels: set = set()
+            granted_consume: set = set()
+            occ = self.channel_occ
+            for idx in order:
+                w, origin, cands = header_requests[idx]
+                if origin is None:
+                    if w.dst not in granted_consume and self.consume_occ[w.dst] == FREE:
+                        granted_consume.add(w.dst)
+                        grants.append((w, -2, w.dst))
+                    continue
+                avail = [
+                    c
+                    for c in cands
+                    if occ[c] == FREE and c not in granted_channels
+                ]
+                if not avail:
+                    continue
+                pick = self._select(avail)
+                granted_channels.add(pick)
+                grants.append((w, origin, pick))
+
+        # -- phase 3: commit -------------------------------------------
+        hdr_latency = self.config.header_delay + self.config.link_delay
+        # worms whose chain gained a channel at the front this clock:
+        # body-plan indices (taken pre-grant) must shift by one
+        shifted: set = set()
+
+        tracer = self.tracer
+        for w, origin, target in grants:
+            progressed = True
+            if origin == -2:  # consumption port acquired; consume header
+                self.consume_occ[target] = w.pid
+                w.consuming = True
+                w.t_head_arrival = clock
+                w.chain_flits[0] -= 1
+                w.consumed += 1
+                stats.on_consume(target)
+                if tracer is not None:
+                    tracer.record(clock, "consume", w.pid, w.src, w.dst)
+            elif origin == -1:  # injection: header enters first channel
+                self.channel_occ[target] = w.pid
+                self.injection_occ[w.src] = w.pid
+                self.queues[w.src].popleft()
+                self.active.append(w)
+                w.t_inject = clock
+                w.chain = [target]
+                w.chain_flits = [1]
+                w.flits_at_source -= 1
+                w.hops = 1
+                w.head_ready_at = clock + hdr_latency
+                stats.on_inject(w.src)
+                stats.on_channel_entry(target)
+                if tracer is not None:
+                    tracer.record(clock, "inject", w.pid, w.src, w.dst, target)
+                if w.flits_at_source == 0:
+                    self.injection_occ[w.src] = FREE
+            else:  # in-network hop
+                self.channel_occ[target] = w.pid
+                w.chain.insert(0, target)
+                w.chain_flits.insert(0, 1)
+                w.chain_flits[1] -= 1
+                w.hops += 1
+                w.head_ready_at = clock + hdr_latency
+                shifted.add(w.pid)
+                stats.on_channel_entry(target)
+                if tracer is not None:
+                    tracer.record(clock, "hop", w.pid, w.src, w.dst, target)
+
+        for w, kind, i in body_plans:
+            progressed = True
+            cf = w.chain_flits
+            if kind == "consume":
+                cf[0] -= 1
+                w.consumed += 1
+                stats.on_consume(w.dst)
+            elif kind == "advance":
+                j = i + 1 if w.pid in shifted else i
+                cf[j + 1] -= 1
+                cf[j] += 1
+                stats.on_channel_entry(w.chain[j])
+            else:  # feed from source (always targets the tail channel)
+                j = len(cf) - 1
+                w.flits_at_source -= 1
+                cf[j] += 1
+                stats.on_inject(w.src)
+                stats.on_channel_entry(w.chain[j])
+                if w.flits_at_source == 0:
+                    self.injection_occ[w.src] = FREE
+
+        # -- phase 4: tail releases and completions ---------------------
+        finished: List[Worm] = []
+        for w in self.active:
+            if w.t_inject is None:
+                continue
+            while (
+                w.chain
+                and w.flits_at_source == 0
+                and w.chain_flits[-1] == 0
+                and not (len(w.chain) == 1 and not w.consuming)
+            ):
+                cid = w.chain.pop()
+                w.chain_flits.pop()
+                self.channel_occ[cid] = FREE
+            if w.consuming and w.consumed == w.length:
+                w.t_done = clock
+                self.consume_occ[w.dst] = FREE
+                finished.append(w)
+                stats.on_delivered(
+                    latency=w.t_done - w.t_gen,
+                    header_latency=(w.t_head_arrival or clock) - w.t_gen,
+                    hops=w.hops,
+                )
+                if self.tracer is not None:
+                    self.tracer.record(clock, "done", w.pid, w.src, w.dst)
+        if finished:
+            done_ids = {w.pid for w in finished}
+            self.active = [w for w in self.active if w.pid not in done_ids]
+            for w in finished:
+                self.worms.pop(w.pid, None)
+        return progressed
+
+    def _select(self, avail: List[int]) -> int:
+        """Pick one free candidate per the configured selection policy.
+
+        ``random`` — uniform (the paper's rule); ``first`` — lowest
+        channel id (deterministic tie-break); ``least-congested`` — the
+        candidate whose *next* switch has the fewest busy output
+        channels (a credit-style congestion proxy; the candidates
+        themselves are free, so their own buffers are empty), ties
+        broken randomly.
+        """
+        if len(avail) == 1:
+            return avail[0]
+        policy = self.config.selection_policy
+        if policy == "first":
+            return min(avail)
+        if policy == "least-congested":
+            occ = self.channel_occ
+            topo = self.topology
+
+            def busy(c: int) -> int:
+                return sum(
+                    1
+                    for o in topo.output_channels(self._sink[c])
+                    if occ[o] != FREE
+                )
+
+            scores = [busy(c) for c in avail]
+            best = min(scores)
+            avail = [c for c, s_ in zip(avail, scores) if s_ == best]
+            if len(avail) == 1:
+                return avail[0]
+        return avail[int(self.rng.integers(len(avail)))]
+
+    def _generate_packets(self) -> None:
+        cfg = self.config
+        p = cfg.packet_probability
+        if p <= 0.0:
+            return
+        n = self.topology.n
+        hits = np.nonzero(self.rng.random(n) < p)[0]
+        for s in hits:
+            s = int(s)
+            if cfg.max_queue is not None and len(self.queues[s]) >= cfg.max_queue:
+                self.stats.on_generate(dropped=True)
+                continue
+            dst = self.traffic.destination(s, self.rng)
+            length = cfg.sample_length(self.rng)
+            w = Worm(self._next_pid, s, dst, length, self.clock)
+            self._next_pid += 1
+            self.worms[w.pid] = w
+            self.queues[s].append(w)
+            self.stats.on_generate()
+            if self.tracer is not None:
+                self.tracer.record(self.clock, "gen", w.pid, w.src, w.dst)
+
+    def find_deadlocked_worms(self) -> List[Worm]:
+        """Exact wait-for analysis: worms that can never progress again.
+
+        A worm is *live* when it is consuming, its header is still in
+        flight, or some admissible candidate resource (next channel or
+        the destination's consumption port) is free or held by a live
+        worm (a live holder eventually drains past and releases).  The
+        greatest fixpoint of this rule marks everything that can still
+        move; the worms left over hold channels and wait, directly or
+        transitively, only on each other — a wormhole deadlock (the
+        cyclic-wait witness of the turn-cycle condition).  Returns the
+        non-live worms (empty for any verified deadlock-free routing).
+        """
+        injected = [w for w in self.active if w.chain]
+        live: Dict[int, bool] = {}
+        for w in injected:
+            if w.consuming or w.head_ready_at > self.clock:
+                live[w.pid] = True
+        occupant = self.channel_occ
+        changed = True
+        while changed:
+            changed = False
+            for w in injected:
+                if live.get(w.pid):
+                    continue
+                head = w.chain[0]
+                node = self._sink[head]
+                if node == w.dst:
+                    holder = self.consume_occ[node]
+                    ok = holder == FREE or live.get(holder, False)
+                else:
+                    ok = any(
+                        occupant[c] == FREE or live.get(occupant[c], False)
+                        for c in self.routing.next_hops[w.dst][head]
+                    )
+                if ok:
+                    live[w.pid] = True
+                    changed = True
+        return [w for w in injected if not live.get(w.pid)]
+
+    def _deadlock_report(self, dead: List[Worm]) -> str:
+        held = [
+            (w.pid, w.src, w.dst, list(zip(w.chain, w.chain_flits)))
+            for w in dead
+        ]
+        return (
+            f"wait-for analysis at clock {self.clock}: {len(dead)} worms "
+            f"can never progress (cyclic channel wait), e.g. {held[:4]}"
+        )
+
+
+def simulate(
+    routing: RoutingFunction,
+    config: SimulationConfig,
+    traffic: Optional[TrafficPattern] = None,
+) -> SimulationStats:
+    """Run one simulation and return its measurement-window statistics."""
+    return WormholeSimulator(routing, config, traffic).run()

@@ -1,0 +1,95 @@
+"""Worm (packet) state for the wormhole engine.
+
+A worm is represented by the ordered chain of channels it currently
+holds (head first) with a flit *count* per channel — individual data
+flits are interchangeable, so only the header needs identity.  The
+invariant maintained by the engine every clock::
+
+    flits_at_source + sum(chain counts) + consumed == length
+
+``Worm`` is a plain mutable record; all behaviour lives in the engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Worm:
+    """One packet in flight (or queued at its source)."""
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "length",
+        "t_gen",
+        "t_inject",
+        "t_head_arrival",
+        "t_done",
+        "chain",
+        "chain_flits",
+        "flits_at_source",
+        "consumed",
+        "head_ready_at",
+        "consuming",
+        "hops",
+    )
+
+    def __init__(self, pid: int, src: int, dst: int, length: int, t_gen: int) -> None:
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.t_gen = t_gen
+        #: clock the header entered the network (left the source queue)
+        self.t_inject: Optional[int] = None
+        #: clock the header reached the destination's consumption port
+        self.t_head_arrival: Optional[int] = None
+        #: clock the last flit was consumed
+        self.t_done: Optional[int] = None
+        #: channels held, head (closest to destination) first
+        self.chain: List[int] = []
+        #: flits buffered in each held channel (parallel to ``chain``)
+        self.chain_flits: List[int] = []
+        self.flits_at_source = length
+        self.consumed = 0
+        #: earliest clock the header may move again (routing + link delays)
+        self.head_ready_at = t_gen
+        #: True once the worm holds its destination's consumption port
+        self.consuming = False
+        #: network hops taken by the header (chain acquisitions)
+        self.hops = 0
+
+    # ------------------------------------------------------------------
+    def total_flits_held(self) -> int:
+        """Flits currently buffered in network channels."""
+        return sum(self.chain_flits)
+
+    def check_invariant(self) -> None:
+        """Assert flit conservation (used by tests and the debug mode)."""
+        held = self.total_flits_held()
+        if self.flits_at_source + held + self.consumed != self.length:
+            raise AssertionError(
+                f"worm {self.pid}: {self.flits_at_source} at source + "
+                f"{held} held + {self.consumed} consumed != {self.length}"
+            )
+        if any(f < 0 for f in self.chain_flits):
+            raise AssertionError(f"worm {self.pid}: negative buffer count")
+
+    @property
+    def done(self) -> bool:
+        """All flits consumed at the destination."""
+        return self.consumed == self.length
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Generation-to-last-flit latency (the paper's message latency)."""
+        return None if self.t_done is None else self.t_done - self.t_gen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Worm({self.pid}: {self.src}->{self.dst}, len={self.length}, "
+            f"chain={list(zip(self.chain, self.chain_flits))}, "
+            f"src_flits={self.flits_at_source}, consumed={self.consumed})"
+        )

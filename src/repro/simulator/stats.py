@@ -1,0 +1,215 @@
+"""Simulation statistics collection and summary metrics.
+
+The engine feeds a :class:`StatsCollector` during the measurement
+window; :meth:`StatsCollector.finalize` produces an immutable
+:class:`SimulationStats` carrying everything the paper's evaluation
+needs: per-channel flit counts (for node utilization, traffic load, hot
+spots, leaves utilization via :mod:`repro.metrics`), latency samples,
+accepted/offered traffic, and queue diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.topology.graph import Topology
+
+
+class StatsCollector:
+    """Mutable accumulator the engine writes into.
+
+    Collection is gated by :attr:`active`, which the engine switches on
+    at the end of the warmup; all counters cover the measurement window
+    only.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.active = False
+        self.window_clocks = 0
+        #: flits entering each inter-switch channel during the window
+        self.channel_flits = np.zeros(topology.num_channels, dtype=np.int64)
+        #: flits consumed per destination switch
+        self.consumed_flits = np.zeros(topology.n, dtype=np.int64)
+        #: flits injected per source switch
+        self.injected_flits = np.zeros(topology.n, dtype=np.int64)
+        self.generated_packets = 0
+        self.dropped_packets = 0
+        self.delivered_packets = 0
+        self.latencies: List[int] = []
+        self.header_latencies: List[int] = []
+        self.hop_counts: List[int] = []
+        #: snapshot cadence in clocks for the throughput time series
+        #: (0 = disabled); set before the measurement window starts
+        self.timeline_interval: int = 0
+        self._timeline: List[Tuple[int, int]] = []  # (window clock, consumed)
+
+    # hooks called by the engine ---------------------------------------
+    def on_channel_entry(self, cid: int) -> None:
+        if self.active:
+            self.channel_flits[cid] += 1
+
+    def on_consume(self, node: int, flits: int = 1) -> None:
+        if self.active:
+            self.consumed_flits[node] += flits
+
+    def on_inject(self, node: int, flits: int = 1) -> None:
+        if self.active:
+            self.injected_flits[node] += flits
+
+    def on_generate(self, dropped: bool = False) -> None:
+        if self.active:
+            self.generated_packets += 1
+            if dropped:
+                self.dropped_packets += 1
+
+    def on_delivered(self, latency: int, header_latency: int, hops: int) -> None:
+        if self.active:
+            self.delivered_packets += 1
+            self.latencies.append(latency)
+            self.header_latencies.append(header_latency)
+            self.hop_counts.append(hops)
+
+    def on_tick(self) -> None:
+        """Record a timeline snapshot if the cadence is due.
+
+        Called once per *measured* clock (after ``window_clocks`` was
+        incremented); cheap no-op when ``timeline_interval`` is 0.
+        """
+        if (
+            self.timeline_interval
+            and self.active
+            and self.window_clocks % self.timeline_interval == 0
+        ):
+            self._timeline.append(
+                (self.window_clocks, int(self.consumed_flits.sum()))
+            )
+
+    def finalize(self, queue_backlog: int) -> "SimulationStats":
+        """Freeze the window counters into a :class:`SimulationStats`."""
+        if self.window_clocks <= 0:
+            raise ValueError("no measurement window was recorded")
+        return SimulationStats(
+            topology=self.topology,
+            clocks=self.window_clocks,
+            channel_flits=self.channel_flits.copy(),
+            consumed_flits=self.consumed_flits.copy(),
+            injected_flits=self.injected_flits.copy(),
+            generated_packets=self.generated_packets,
+            dropped_packets=self.dropped_packets,
+            delivered_packets=self.delivered_packets,
+            latencies=tuple(self.latencies),
+            header_latencies=tuple(self.header_latencies),
+            hop_counts=tuple(self.hop_counts),
+            queue_backlog=queue_backlog,
+            timeline=tuple(self._timeline),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Immutable results of one measurement window.
+
+    ``channel_flits[cid]`` counts flits that *entered* inter-switch
+    channel ``cid`` during the window; channel utilization is that count
+    divided by the window length — "the average number of flits across
+    the node through the output channel during one clock" (Section 5).
+    """
+
+    topology: Topology
+    clocks: int
+    channel_flits: np.ndarray
+    consumed_flits: np.ndarray
+    injected_flits: np.ndarray
+    generated_packets: int
+    dropped_packets: int
+    delivered_packets: int
+    latencies: Tuple[int, ...]
+    header_latencies: Tuple[int, ...]
+    hop_counts: Tuple[int, ...]
+    queue_backlog: int
+    #: (window clock, cumulative consumed flits) snapshots; empty when
+    #: the collector's ``timeline_interval`` was 0
+    timeline: Tuple[Tuple[int, int], ...] = ()
+
+    # -- headline numbers ----------------------------------------------
+    @property
+    def accepted_traffic(self) -> float:
+        """Delivered load in flits/clock/node (the paper's throughput)."""
+        return float(self.consumed_flits.sum()) / (self.clocks * self.topology.n)
+
+    @property
+    def offered_traffic(self) -> float:
+        """Injected load in flits/clock/node (post-queue, pre-delivery)."""
+        return float(self.injected_flits.sum()) / (self.clocks * self.topology.n)
+
+    @property
+    def average_latency(self) -> float:
+        """Mean message latency (generation to last flit consumed)."""
+        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile message latency."""
+        return (
+            float(np.percentile(self.latencies, 99))
+            if self.latencies
+            else float("nan")
+        )
+
+    @property
+    def average_hops(self) -> float:
+        """Mean header hop count of delivered packets."""
+        return float(np.mean(self.hop_counts)) if self.hop_counts else float("nan")
+
+    # -- channel-level views (consumed by repro.metrics) ----------------
+    def channel_utilization(self) -> np.ndarray:
+        """Per-channel flits/clock over the window."""
+        return self.channel_flits / float(self.clocks)
+
+    def throughput_series(self) -> List[Tuple[int, float]]:
+        """Windowed accepted traffic over time (warmup-adequacy check).
+
+        Each entry is ``(window clock, flits/clock/node over the
+        interval ending there)``; a warmed-up, stable run shows a flat
+        series.  Empty unless the collector recorded a timeline.
+        """
+        out: List[Tuple[int, float]] = []
+        prev_t, prev_c = 0, 0
+        n = self.topology.n
+        for t, consumed in self.timeline:
+            dt = t - prev_t
+            if dt > 0:
+                out.append((t, (consumed - prev_c) / (dt * n)))
+            prev_t, prev_c = t, consumed
+        return out
+
+    def throughput_stability(self) -> float:
+        """Relative spread of the second half of the throughput series.
+
+        ``max/min - 1`` over the later half (0 = perfectly flat;
+        ``nan`` without a timeline) — a quick "did we measure at steady
+        state?" indicator.
+        """
+        series = self.throughput_series()
+        half = [v for _t, v in series[len(series) // 2 :] if v > 0]
+        if len(half) < 2:
+            return float("nan")
+        return max(half) / min(half) - 1.0
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dict for reports and CSV rows."""
+        return {
+            "clocks": float(self.clocks),
+            "accepted_traffic": self.accepted_traffic,
+            "offered_traffic": self.offered_traffic,
+            "avg_latency": self.average_latency,
+            "p99_latency": self.p99_latency,
+            "avg_hops": self.average_hops,
+            "delivered_packets": float(self.delivered_packets),
+            "generated_packets": float(self.generated_packets),
+            "queue_backlog": float(self.queue_backlog),
+        }

@@ -1,0 +1,29 @@
+"""Irregular switch-based network topologies (paper Definition 1).
+
+A topology is an undirected graph of switches; every bidirectional link
+``(u, v)`` carries the two directed *channels* ``<u, v>`` and ``<v, u>``.
+This package provides the :class:`~repro.topology.graph.Topology` model,
+the random irregular generator used by the evaluation (128 switches,
+4-port / 8-port bounds), validation, and JSON serialization.
+"""
+
+from repro.topology.graph import Channel, Topology
+from repro.topology.generator import random_irregular_topology, TopologyGenError
+from repro.topology.validation import (
+    TopologyError,
+    validate_topology,
+)
+from repro.topology.serialization import topology_from_json, topology_to_json
+from repro.topology import zoo
+
+__all__ = [
+    "Channel",
+    "Topology",
+    "random_irregular_topology",
+    "TopologyGenError",
+    "TopologyError",
+    "validate_topology",
+    "topology_from_json",
+    "topology_to_json",
+    "zoo",
+]

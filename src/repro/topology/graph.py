@@ -1,0 +1,219 @@
+"""The switch-graph model (paper Definition 1).
+
+``Topology`` is an immutable undirected multigraph-free graph over switch
+ids ``0..n-1``.  Every link contributes two directed *channels*; channels
+get dense integer ids so that all downstream machinery (direction
+labelling, channel-dependency graphs, the simulator's per-channel state
+arrays) can index flat arrays instead of hashing tuples.
+
+Channel id convention: link ``k`` joining ``u < v`` yields channel
+``2*k`` = ``<u, v>`` and channel ``2*k + 1`` = ``<v, u>``; the reverse of
+channel ``c`` is therefore always ``c ^ 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed communication channel ``<start, sink>`` (Definition 1).
+
+    ``start`` can send messages to ``sink`` through this channel; the
+    channel is an *output* channel of ``start`` and an *input* channel of
+    ``sink``.  ``cid`` is the dense channel id, ``link`` the id of the
+    underlying bidirectional link.
+    """
+
+    cid: int
+    start: int
+    sink: int
+    link: int
+
+    @property
+    def reverse_cid(self) -> int:
+        """Id of the opposite-direction channel of the same link."""
+        return self.cid ^ 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Channel({self.cid}: {self.start}->{self.sink})"
+
+
+class Topology:
+    """An irregular switch-based interconnection network ``G = (V, E)``.
+
+    Parameters
+    ----------
+    n:
+        Number of switches (vertices), numbered ``0..n-1``.
+    links:
+        Iterable of unordered switch pairs.  Self-loops and duplicate
+        links are rejected; each pair is normalised to ``(min, max)``.
+    ports:
+        Declared per-switch port bound for inter-switch links (4 or 8 in
+        the paper).  ``None`` means "unchecked".  The bound constrains the
+        *degree*, it does not require every port to be used.
+
+    The instance exposes adjacency both at the switch level
+    (:meth:`neighbors`) and at the channel level (:meth:`output_channels`
+    / :meth:`input_channels`), which is what routing construction and the
+    simulator consume.
+    """
+
+    __slots__ = (
+        "n",
+        "ports",
+        "links",
+        "channels",
+        "_adj",
+        "_out_channels",
+        "_in_channels",
+        "_channel_by_pair",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        links: Iterable[Tuple[int, int]],
+        ports: int | None = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one switch, got n={n}")
+        norm: List[Tuple[int, int]] = []
+        seen = set()
+        for a, b in links:
+            a, b = int(a), int(b)
+            if a == b:
+                raise ValueError(f"self-loop on switch {a}")
+            if not (0 <= a < n and 0 <= b < n):
+                raise ValueError(f"link ({a},{b}) out of range for n={n}")
+            pair = (a, b) if a < b else (b, a)
+            if pair in seen:
+                raise ValueError(f"duplicate link {pair}")
+            seen.add(pair)
+            norm.append(pair)
+        norm.sort()
+
+        self.n = n
+        self.ports = ports
+        self.links: Tuple[Tuple[int, int], ...] = tuple(norm)
+
+        channels: List[Channel] = []
+        adj: List[List[int]] = [[] for _ in range(n)]
+        out_ch: List[List[int]] = [[] for _ in range(n)]
+        in_ch: List[List[int]] = [[] for _ in range(n)]
+        by_pair: Dict[Tuple[int, int], int] = {}
+        for k, (u, v) in enumerate(norm):
+            fwd = Channel(cid=2 * k, start=u, sink=v, link=k)
+            rev = Channel(cid=2 * k + 1, start=v, sink=u, link=k)
+            channels.extend((fwd, rev))
+            adj[u].append(v)
+            adj[v].append(u)
+            out_ch[u].append(fwd.cid)
+            in_ch[v].append(fwd.cid)
+            out_ch[v].append(rev.cid)
+            in_ch[u].append(rev.cid)
+            by_pair[(u, v)] = fwd.cid
+            by_pair[(v, u)] = rev.cid
+
+        self.channels: Tuple[Channel, ...] = tuple(channels)
+        self._adj = tuple(tuple(sorted(a)) for a in adj)
+        self._out_channels = tuple(tuple(o) for o in out_ch)
+        self._in_channels = tuple(tuple(i) for i in in_ch)
+        self._channel_by_pair = by_pair
+
+        if ports is not None:
+            bad = [v for v in range(n) if len(self._adj[v]) > ports]
+            if bad:
+                raise ValueError(
+                    f"switches {bad} exceed the {ports}-port bound"
+                )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        """Number of bidirectional links ``|E|``."""
+        return len(self.links)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of directed channels (``2 |E|``)."""
+        return 2 * len(self.links)
+
+    def degree(self, v: int) -> int:
+        """Number of inter-switch links at switch *v*."""
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Switches adjacent to *v*, in ascending id order."""
+        return self._adj[v]
+
+    def output_channels(self, v: int) -> Tuple[int, ...]:
+        """Channel ids whose start node is *v*."""
+        return self._out_channels[v]
+
+    def input_channels(self, v: int) -> Tuple[int, ...]:
+        """Channel ids whose sink node is *v*."""
+        return self._in_channels[v]
+
+    def channel(self, cid: int) -> Channel:
+        """The :class:`Channel` with dense id *cid*."""
+        return self.channels[cid]
+
+    def channel_id(self, start: int, sink: int) -> int:
+        """Dense id of channel ``<start, sink>`` (KeyError if no link)."""
+        return self._channel_by_pair[(start, sink)]
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True if an (undirected) link joins *a* and *b*."""
+        return (a, b) in self._channel_by_pair
+
+    # ------------------------------------------------------------------
+    # graph-level queries
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True if every switch is reachable from switch 0."""
+        if self.n == 1:
+            return True
+        seen = [False] * self.n
+        seen[0] = True
+        stack = [0]
+        count = 1
+        while stack:
+            v = stack.pop()
+            for w in self._adj[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(w)
+        return count == self.n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return self.n == other.n and self.links == other.links
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.links))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology(n={self.n}, links={self.num_links}, "
+            f"ports={self.ports})"
+        )
+
+
+def path_channels(topology: Topology, nodes: Sequence[int]) -> List[int]:
+    """Channel ids along the switch path *nodes* (adjacent consecutive).
+
+    Convenience for tests and examples: converts a node path
+    ``[v0, v1, ..., vk]`` into the channel path
+    ``[<v0,v1>, ..., <v(k-1),vk>]``.
+    """
+    return [
+        topology.channel_id(a, b) for a, b in zip(nodes[:-1], nodes[1:])
+    ]

@@ -1,0 +1,49 @@
+"""Structural validation of topologies.
+
+Centralises the invariants every experiment assumes: connectivity, port
+bounds, channel-id conventions.  ``validate_topology`` raises
+:class:`TopologyError` with a precise message on the first violation, so
+tests and the harness can assert "this input is usable" in one call.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import Topology
+
+
+class TopologyError(ValueError):
+    """A topology violates a structural invariant."""
+
+
+def validate_topology(topology: Topology, require_connected: bool = True) -> None:
+    """Raise :class:`TopologyError` unless *topology* is well-formed.
+
+    Checks, in order: channel-id pairing (``reverse == cid ^ 1``),
+    channel/adjacency agreement, the declared port bound, and (by
+    default) connectivity.
+    """
+    for ch in topology.channels:
+        rev = topology.channel(ch.reverse_cid)
+        if rev.start != ch.sink or rev.sink != ch.start:
+            raise TopologyError(
+                f"channel {ch.cid} reverse pairing broken: {ch} vs {rev}"
+            )
+    for v in range(topology.n):
+        outs = {topology.channel(c).sink for c in topology.output_channels(v)}
+        if outs != set(topology.neighbors(v)):
+            raise TopologyError(
+                f"switch {v}: output channels {sorted(outs)} disagree with "
+                f"adjacency {list(topology.neighbors(v))}"
+            )
+        ins = {topology.channel(c).start for c in topology.input_channels(v)}
+        if ins != set(topology.neighbors(v)):
+            raise TopologyError(
+                f"switch {v}: input channels disagree with adjacency"
+            )
+        if topology.ports is not None and topology.degree(v) > topology.ports:
+            raise TopologyError(
+                f"switch {v} has degree {topology.degree(v)} > "
+                f"{topology.ports} ports"
+            )
+    if require_connected and not topology.is_connected():
+        raise TopologyError("topology is not connected")

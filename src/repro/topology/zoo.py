@@ -1,0 +1,107 @@
+"""A zoo of deterministic reference topologies.
+
+The paper evaluates on random irregular networks, but a reproduction
+library benefits from structured instances whose properties are known
+in closed form: they anchor tests (exact distances, symmetry), make
+examples legible, and let users sanity-check the turn-model machinery
+on familiar shapes.  All constructors return plain
+:class:`~repro.topology.graph.Topology` objects and are deterministic.
+
+Note irregular-network routing algorithms run fine on regular shapes —
+a mesh is just a particularly tidy irregular network — which makes
+these useful for comparing DOWN/UP against the structure-aware
+intuition (e.g. on a mesh, up*/down* hot-spots the row of the root).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.graph import Topology
+
+
+def line(n: int) -> Topology:
+    """A path of *n* switches: ``0 - 1 - ... - n-1``."""
+    return Topology(n, [(i, i + 1) for i in range(n - 1)], ports=2)
+
+
+def ring(n: int) -> Topology:
+    """A cycle of *n* switches (n >= 3): the canonical deadlock shape."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 switches")
+    links = [(i, (i + 1) % n) for i in range(n)]
+    return Topology(n, links, ports=2)
+
+
+def star(n: int) -> Topology:
+    """Switch 0 connected to every other switch."""
+    if n < 2:
+        raise ValueError("a star needs at least 2 switches")
+    return Topology(n, [(0, i) for i in range(1, n)], ports=n - 1)
+
+
+def mesh(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` 2-D mesh; switch ``(r, c)`` has id ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be positive")
+    links: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                links.append((v, v + 1))
+            if r + 1 < rows:
+                links.append((v, v + cols))
+    return Topology(rows * cols, links, ports=4)
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """A 2-D torus (mesh plus wraparound links).
+
+    Requires both dimensions >= 3 so wrap links do not duplicate mesh
+    links.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be >= 3")
+    links = set(mesh(rows, cols).links)
+    for r in range(rows):
+        links.add(tuple(sorted((r * cols, r * cols + cols - 1))))
+    for c in range(cols):
+        links.add(tuple(sorted((c, (rows - 1) * cols + c))))
+    return Topology(rows * cols, sorted(links), ports=4)
+
+
+def hypercube(dim: int) -> Topology:
+    """A *dim*-dimensional binary hypercube (2**dim switches)."""
+    if dim < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    n = 1 << dim
+    links = [
+        (v, v ^ (1 << b))
+        for v in range(n)
+        for b in range(dim)
+        if v < (v ^ (1 << b))
+    ]
+    return Topology(n, links, ports=dim)
+
+
+def complete(n: int) -> Topology:
+    """The complete graph on *n* switches."""
+    if n < 2:
+        raise ValueError("complete graph needs at least 2 switches")
+    links = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    return Topology(n, links, ports=n - 1)
+
+
+def binary_tree(levels: int) -> Topology:
+    """A complete binary tree with *levels* levels (2**levels - 1 switches).
+
+    A tree has no cross links at all, so every tree-based algorithm
+    degenerates to the same routing on it — a useful differential
+    baseline.
+    """
+    if levels < 1:
+        raise ValueError("need at least one level")
+    n = (1 << levels) - 1
+    links = [((v - 1) // 2, v) for v in range(1, n)]
+    return Topology(n, links, ports=3)

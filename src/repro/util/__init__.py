@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG plumbing, ASCII tables and plots.
+
+Nothing in this package knows about networks or routing; it exists so that
+the domain packages (:mod:`repro.topology`, :mod:`repro.core`,
+:mod:`repro.simulator`, ...) can stay focused on the paper's concepts.
+"""
+
+from repro.util.rng import RngLike, as_generator, spawn_child
+from repro.util.tables import format_table
+from repro.util.ascii_plot import ascii_xy_plot
+
+__all__ = [
+    "RngLike",
+    "as_generator",
+    "spawn_child",
+    "format_table",
+    "ascii_xy_plot",
+]

@@ -1,0 +1,65 @@
+"""Terminal scatter/line plots for latency-vs-throughput curves.
+
+Figure 8 of the paper plots average message latency against accepted
+traffic for each routing algorithm and coordinated-tree method.  With no
+graphics stack available offline, the harness renders those curves on a
+character grid: one glyph per series, points mapped onto an ``x``/``y``
+grid with linear scales and labelled axes.  The same data is also written
+as CSV so it can be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+Series = Dict[str, Sequence[Tuple[float, float]]]
+
+_GLYPHS = "*o+x#@%&$"
+
+
+def ascii_xy_plot(
+    series: Series,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render *series* (name -> [(x, y), ...]) on a character grid.
+
+    Each series gets a distinct glyph; overlapping points show the glyph
+    of the later series.  Axis extremes are annotated with their numeric
+    values.  Returns the plot as a single string.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        for x, y in pts:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            if math.isfinite(x) and math.isfinite(y):
+                grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  (top={y_hi:.4g}, bottom={y_lo:.4g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: left={x_lo:.4g}, right={x_hi:.4g}")
+    lines.extend(legend)
+    return "\n".join(lines)

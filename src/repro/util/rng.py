@@ -1,0 +1,72 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the reproduction (topology generation, the
+``M2`` coordinated-tree ordering, adaptive tie-breaking in the simulator,
+traffic generation) takes an explicit random source.  This module
+normalises what callers may pass — an integer seed, ``None``, or an
+existing :class:`numpy.random.Generator` — into a ``Generator`` and offers
+a cheap way to derive independent child streams, so that an experiment
+seeded once is reproducible end to end while its sub-components stay
+statistically independent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: Things accepted wherever a random source is expected.
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *rng*.
+
+    ``None`` yields a fresh OS-seeded generator; an ``int`` or a
+    :class:`numpy.random.SeedSequence` seeds a new PCG64 stream; an
+    existing ``Generator`` is returned as-is (shared, not copied).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(rng))
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot interpret {rng!r} as a random source")
+
+
+def spawn_child(rng: RngLike, key: int) -> np.random.Generator:
+    """Derive an independent child generator from *rng* and an integer *key*.
+
+    The derivation is deterministic: the same ``(rng seed, key)`` pair
+    always produces the same child stream.  When *rng* is already a
+    ``Generator`` the child is seeded from the parent's bit stream (which
+    advances the parent — callers who need full determinism should pass
+    seeds, not shared generators).
+    """
+    if isinstance(rng, (int, np.integer)):
+        return np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(entropy=int(rng), spawn_key=(int(key),)))
+        )
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(rng.spawn(1)[0]))
+    gen = as_generator(rng)
+    seed = int(gen.integers(0, 2**63 - 1)) ^ (int(key) * 0x9E3779B97F4A7C15 % 2**63)
+    return np.random.default_rng(seed)
+
+
+def derive_seed(seed: Optional[int], *keys: int) -> int:
+    """Mix *seed* with *keys* into a new 63-bit seed (splitmix-style).
+
+    Used by experiment configs to give each (sample, algorithm, load
+    point) its own reproducible seed without threading generators through
+    every layer.
+    """
+    h = (seed if seed is not None else 0x51AB_DEAD_BEEF) & (2**64 - 1)
+    for k in keys:
+        h = (h ^ (int(k) & (2**64 - 1))) * 0x9E3779B97F4A7C15 % 2**64
+        h ^= h >> 29
+        h = h * 0xBF58476D1CE4E5B9 % 2**64
+        h ^= h >> 32
+    return h & (2**63 - 1)

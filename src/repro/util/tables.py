@@ -1,0 +1,77 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper reports its results as small tables (Tables 1-4).  Since the
+evaluation environment is terminal-only, the harness prints the
+regenerated tables in a monospace layout that mirrors the paper's rows
+(coordinated-tree method) and columns (algorithm x port configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def _cell(value: object, width: int, numeric: bool) -> str:
+    text = value if isinstance(value, str) else _format_value(value)
+    return text.rjust(width) if numeric else text.ljust(width)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* under *headers* as an ASCII table.
+
+    Columns are sized to their widest entry; numeric columns (those whose
+    body cells are all int/float) are right-aligned.  Returns the table as
+    a single string (no trailing newline).
+    """
+    body = [[_format_value(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in body:
+        if len(row) != ncols:
+            raise ValueError(f"row {row} does not match {ncols} headers")
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    numeric = [
+        all(_is_numeric_text(row[i]) for row in body) if body else False
+        for i in range(ncols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(
+            " | ".join(_cell(c, w, n) for c, w, n in zip(row, widths, numeric))
+        )
+    return "\n".join(lines)
+
+
+def _is_numeric_text(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render the same data as CSV (for machine-readable experiment output)."""
+    out = [",".join(str(h) for h in headers)]
+    for row in rows:
+        out.append(",".join(_format_value(c) for c in row))
+    return "\n".join(out)

@@ -1,0 +1,11 @@
+"""Terminal visualisation of trees and networks.
+
+Everything in the reproduction reports through the terminal; this
+package renders the structural objects (coordinated trees, direction
+histograms) so examples and debugging sessions can *see* what the
+algorithms see.
+"""
+
+from repro.viz.tree import render_coordinated_tree, render_direction_histogram
+
+__all__ = ["render_coordinated_tree", "render_direction_histogram"]

@@ -1,0 +1,77 @@
+"""Shared fixtures.
+
+``paper_figure1_topology`` is the worked example of the paper's
+Figure 1, re-indexed so that our M1 construction reproduces the paper's
+coordinates exactly (see tests/test_paper_figures.py for the mapping).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.communication_graph import CommunicationGraph
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.topology.generator import random_irregular_topology
+from repro.topology.graph import Topology
+
+#: paper node -> our switch id (chosen so M1 BFS/preorder reproduces
+#: the Figure 1(c) coordinated tree)
+FIG1_IDS = {"v1": 0, "v5": 1, "v3": 2, "v4": 3, "v2": 4}
+
+
+@pytest.fixture
+def line3() -> Topology:
+    """Three switches in a line: 0 - 1 - 2."""
+    return Topology(3, [(0, 1), (1, 2)])
+
+
+@pytest.fixture
+def ring6() -> Topology:
+    """A 6-switch ring (the canonical deadlock-prone topology)."""
+    return Topology(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+
+
+@pytest.fixture
+def paper_figure1_topology() -> Topology:
+    """The Figure 1(b) network: v1 root; v5, v3, v4 children; v2 below v5.
+
+    Links: tree (v1,v5), (v1,v3), (v1,v4), (v5,v2); cross (v4,v2),
+    (v5,v3).
+    """
+    v = FIG1_IDS
+    return Topology(
+        5,
+        [
+            (v["v1"], v["v5"]),
+            (v["v1"], v["v3"]),
+            (v["v1"], v["v4"]),
+            (v["v5"], v["v2"]),
+            (v["v4"], v["v2"]),
+            (v["v5"], v["v3"]),
+        ],
+    )
+
+
+@pytest.fixture
+def erratum_topology() -> Topology:
+    """5-switch network realizing the RU->R->LD turn cycle left open by
+    the PT as printed in Section 4.3 (see test_paper_erratum.py)."""
+    return Topology(5, [(0, 1), (0, 2), (0, 3), (1, 4), (3, 4), (2, 4), (2, 3)])
+
+
+@pytest.fixture
+def small_irregular() -> Topology:
+    """A deterministic 16-switch, 4-port irregular sample."""
+    return random_irregular_topology(16, 4, rng=1)
+
+
+@pytest.fixture
+def medium_irregular() -> Topology:
+    """A deterministic 32-switch, 4-port irregular sample."""
+    return random_irregular_topology(32, 4, rng=7)
+
+
+@pytest.fixture
+def small_cg(small_irregular) -> CommunicationGraph:
+    """Communication graph of the 16-switch sample under M1."""
+    return CommunicationGraph.from_tree(build_coordinated_tree(small_irregular))

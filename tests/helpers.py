@@ -1,0 +1,64 @@
+"""Test helpers: hand-built routing functions and traffic patterns."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.routing.base import RoutingFunction, TurnModel
+from repro.topology.graph import Topology, path_channels
+
+
+def fixed_path_routing(
+    topology: Topology,
+    paths: Dict[Tuple[int, int], Sequence[int]],
+    name: str = "fixed",
+) -> RoutingFunction:
+    """A deterministic routing that follows exactly the given node paths.
+
+    *paths* maps ``(src, dst)`` to a node sequence ``[src, ..., dst]``.
+    Pairs not listed are unroutable.  Used to script precise worm
+    movements (pipelining measurements, engineered deadlocks) without
+    involving any turn-model construction.
+    """
+    n = topology.n
+    UNREACH = RoutingFunction.UNREACHABLE
+    dist = np.full((n, topology.num_channels), UNREACH, dtype=np.int32)
+    next_hops: List[List[Tuple[int, ...]]] = [
+        [() for _ in range(topology.num_channels)] for _ in range(n)
+    ]
+    first_hops: List[List[Tuple[int, ...]]] = [
+        [() for _ in range(n)] for _ in range(n)
+    ]
+    for (s, d), nodes in paths.items():
+        if nodes[0] != s or nodes[-1] != d:
+            raise ValueError(f"path for {(s, d)} must run src -> dst")
+        cids = path_channels(topology, list(nodes))
+        first_hops[d][s] = (cids[0],)
+        for i, c in enumerate(cids):
+            dist[d][c] = len(cids) - 1 - i
+            if i + 1 < len(cids):
+                next_hops[d][c] = (cids[i + 1],)
+    tm = TurnModel(
+        topology, [0] * topology.num_channels, np.ones((1, 1), dtype=bool)
+    )
+    return RoutingFunction(
+        topology=topology,
+        name=name,
+        turn_model=tm,
+        dist=dist,
+        next_hops=tuple(tuple(r) for r in next_hops),
+        first_hops=tuple(tuple(r) for r in first_hops),
+        meta={"paths": dict(paths)},
+    )
+
+
+class FixedDestinationTraffic:
+    """Every source always sends to one fixed destination."""
+
+    def __init__(self, mapping: Dict[int, int]) -> None:
+        self.mapping = dict(mapping)
+
+    def destination(self, src: int, rng) -> int:
+        return self.mapping[src]

@@ -1,0 +1,65 @@
+"""Tests for the campaign orchestrator."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.configs import get_preset
+from repro.experiments.__main__ import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_preset("tiny").scaled(
+        warmup_clocks=100, measure_clocks=300, rates=(0.05, 0.2)
+    )
+
+
+def test_campaign_produces_all_artefacts(tiny, tmp_path):
+    stages = run_campaign(tiny, tmp_path)
+    assert [s.name for s in stages] == ["figure8-4port", "tables", "static-tables"]
+    assert not any(s.skipped for s in stages)
+    for name in (
+        "figure8_4port.csv",
+        "figure8_4port_summary.txt",
+        "tables_simulated.csv",
+        "tables_simulated.txt",
+        "tables_static.csv",
+        "tables_static.txt",
+        "manifest.json",
+    ):
+        assert (tmp_path / name).exists(), name
+
+
+def test_campaign_resumes(tiny, tmp_path):
+    run_campaign(tiny, tmp_path)
+    second = run_campaign(tiny, tmp_path)
+    assert all(s.skipped for s in second)
+    third = run_campaign(tiny, tmp_path, force=True)
+    assert not any(s.skipped for s in third)
+
+
+def test_manifest_contents(tiny, tmp_path):
+    run_campaign(tiny, tmp_path)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["preset"]["n_switches"] == tiny.n_switches
+    assert set(manifest["stages"]) == {
+        "figure8-4port", "tables", "static-tables"
+    }
+    assert "simulated" in manifest["winners"]
+
+
+def test_no_static_option(tiny, tmp_path):
+    stages = run_campaign(tiny, tmp_path, include_static=False)
+    assert [s.name for s in stages] == ["figure8-4port", "tables"]
+
+
+def test_campaign_cli(tmp_path, capsys):
+    rc = cli_main(
+        ["campaign", "--preset", "tiny", "--quiet", "--out", str(tmp_path)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "artefacts in" in out
+    assert (tmp_path / "manifest.json").exists()

@@ -1,0 +1,120 @@
+"""Tests for communication graphs (Definition 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.communication_graph import CommunicationGraph
+from repro.core.coordinated_tree import TreeMethod, build_coordinated_tree
+from repro.core.directions import Direction
+from repro.topology.generator import random_irregular_topology
+from repro.topology.graph import Topology
+
+
+def cg_of(topology, method=TreeMethod.M1, rng=0):
+    return CommunicationGraph.from_tree(
+        build_coordinated_tree(topology, method, rng=rng)
+    )
+
+
+class TestLabelling:
+    def test_line_directions(self, line3):
+        cg = cg_of(line3)
+        assert cg.d(line3.channel_id(0, 1)) is Direction.RD_TREE
+        assert cg.d(line3.channel_id(1, 0)) is Direction.LU_TREE
+
+    def test_tree_channels_exactly_on_tree_links(self, medium_irregular):
+        cg = cg_of(medium_irregular)
+        for ch in medium_irregular.channels:
+            is_tree_dir = cg.d(ch.cid).is_tree
+            assert is_tree_dir == cg.tree.is_tree_link(ch.start, ch.sink)
+
+    def test_opposite_channels_opposite_directions(self, medium_irregular):
+        opposite = {
+            Direction.LU_TREE: Direction.RD_TREE,
+            Direction.LU_CROSS: Direction.RD_CROSS,
+            Direction.LD_CROSS: Direction.RU_CROSS,
+            Direction.L_CROSS: Direction.R_CROSS,
+        }
+        opposite.update({v: k for k, v in opposite.items()})
+        cg = cg_of(medium_irregular)
+        for ch in medium_irregular.channels:
+            assert cg.d(ch.reverse_cid) is opposite[cg.d(ch.cid)]
+
+    def test_tree_channel_count(self, medium_irregular):
+        cg = cg_of(medium_irregular)
+        hist = cg.direction_histogram()
+        n = medium_irregular.n
+        assert hist[Direction.LU_TREE] == n - 1
+        assert hist[Direction.RD_TREE] == n - 1
+        assert hist[Direction.L_CROSS] == hist[Direction.R_CROSS]
+        assert hist[Direction.LU_CROSS] == hist[Direction.RD_CROSS]
+        assert hist[Direction.LD_CROSS] == hist[Direction.RU_CROSS]
+        assert sum(hist.values()) == medium_irregular.num_channels
+
+    def test_every_nonroot_has_lu_tree_output(self, medium_irregular):
+        cg = cg_of(medium_irregular)
+        for v in range(medium_irregular.n):
+            if v == cg.tree.root:
+                continue
+            ups = [
+                c
+                for c in medium_irregular.output_channels(v)
+                if cg.d(c) is Direction.LU_TREE
+            ]
+            assert len(ups) == 1
+
+
+class TestTurnsAt:
+    def test_u_turns_excluded(self, small_irregular):
+        cg = cg_of(small_irregular)
+        for v in range(small_irregular.n):
+            for e_in, e_out in cg.turns_at(v):
+                assert e_out != (e_in ^ 1)
+                assert small_irregular.channel(e_in).sink == v
+                assert small_irregular.channel(e_out).start == v
+
+    def test_turn_count(self):
+        # star: center sees 3 inputs x 3 outputs minus 3 U-turns = 6
+        t = Topology(4, [(0, 1), (0, 2), (0, 3)])
+        cg = cg_of(t)
+        assert len(list(cg.turns_at(0))) == 6
+        assert len(list(cg.turns_at(1))) == 0  # leaf: only U-turn, excluded
+
+
+class TestValidation:
+    def test_from_tree_validates(self, medium_irregular):
+        cg = cg_of(medium_irregular)  # would raise on inconsistency
+        assert len(cg.direction) == medium_irregular.num_channels
+
+    def test_corrupt_labelling_detected(self, line3):
+        cg = cg_of(line3)
+        bad = CommunicationGraph(
+            tree=cg.tree,
+            direction=tuple(
+                Direction.L_CROSS if i == 0 else d
+                for i, d in enumerate(cg.direction)
+            ),
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    method=st.sampled_from(list(TreeMethod)),
+)
+def test_cg_invariants_on_random_samples(seed, method):
+    topo = random_irregular_topology(24, 4, rng=seed)
+    cg = cg_of(topo, method, rng=seed)  # from_tree validates internally
+    # horizontal cross channels connect equal levels; vertical cross span 1
+    for ch in topo.channels:
+        d = cg.d(ch.cid)
+        dy = cg.tree.y[ch.sink] - cg.tree.y[ch.start]
+        if d.is_horizontal:
+            assert dy == 0
+        elif d.is_upward:
+            assert dy == -1
+        else:
+            assert dy == 1

@@ -1,0 +1,94 @@
+"""Focused tests for the wait-for deadlock analysis.
+
+The knot detector is the part of the engine that certifies negative
+results (no deadlock), so its own behaviour deserves direct coverage:
+consumption-blocked worms, chains of waiting, and liveness through a
+live holder.
+"""
+
+from repro.routing.updown import build_up_down_routing
+from repro.simulator import SimulationConfig, WormholeSimulator
+from repro.simulator.packet import Worm
+from repro.topology.graph import Topology
+from tests.helpers import fixed_path_routing
+
+
+def make_sim(topo, routing, length=32):
+    cfg = SimulationConfig(
+        packet_length=length, injection_rate=0.0,
+        warmup_clocks=0, measure_clocks=10, seed=0,
+        deadlock_interval=0,  # manual checks only
+    )
+    return WormholeSimulator(routing, cfg)
+
+
+class TestLiveness:
+    def test_consuming_worm_is_live(self):
+        topo = Topology(2, [(0, 1)])
+        sim = make_sim(topo, fixed_path_routing(topo, {(0, 1): [0, 1]}))
+        w = Worm(0, 0, 1, 32, 0)
+        sim.queues[0].append(w)
+        for _ in range(10):
+            sim.step()
+        assert w.consuming
+        assert sim.find_deadlocked_worms() == []
+
+    def test_worm_waiting_on_live_holder_is_live(self):
+        """B waits for a channel held by consuming (live) worm A."""
+        topo = Topology(3, [(0, 1), (1, 2)])
+        routing = fixed_path_routing(
+            topo, {(0, 2): [0, 1, 2], (1, 2): [1, 2]}
+        )
+        sim = make_sim(topo, routing, length=64)
+        a = Worm(0, 1, 2, 64, 0)  # grabs <1,2>, consumes at 2
+        b = Worm(1, 0, 2, 64, 0)  # blocks behind a at switch 1
+        sim.queues[1].append(a)
+        sim.queues[0].append(b)
+        for _ in range(20):
+            sim.step()
+        assert a.consuming
+        assert b.chain and not b.consuming  # genuinely waiting
+        assert sim.find_deadlocked_worms() == []
+
+    def test_chain_of_waiters_all_live(self):
+        """C waits on B waits on A (live): the fixpoint propagates."""
+        topo = Topology(4, [(0, 1), (1, 2), (2, 3)])
+        routing = fixed_path_routing(
+            topo,
+            {(0, 3): [0, 1, 2, 3], (1, 3): [1, 2, 3], (2, 3): [2, 3]},
+        )
+        sim = make_sim(topo, routing, length=64)
+        a = Worm(0, 2, 3, 64, 0)
+        b = Worm(1, 1, 3, 64, 0)
+        c = Worm(2, 0, 3, 64, 0)
+        sim.queues[2].append(a)
+        sim.queues[1].append(b)
+        sim.queues[0].append(c)
+        for _ in range(25):
+            sim.step()
+        assert sim.find_deadlocked_worms() == []
+
+    def test_detects_true_cycle_immediately(self, ring6):
+        """Six flows, each holding one ring channel and wanting the next
+        flow's — the canonical cyclic wait; all inject at clock 0 and
+        interlock by clock 3."""
+        flows = [(i, (i + 2) % 6) for i in range(6)]
+        routing = fixed_path_routing(
+            ring6,
+            {(s, d): [s, (s + 1) % 6, d] for s, d in flows},
+        )
+        sim = make_sim(ring6, routing, length=64)
+        for pid, (s, d) in enumerate(flows):
+            sim.queues[s].append(Worm(pid, s, d, 64, 0))
+        for _ in range(40):
+            sim.step()
+        dead = sim.find_deadlocked_worms()
+        assert len(dead) == 6
+
+    def test_idle_network_has_no_deadlock(self, medium_irregular):
+        sim = make_sim(
+            medium_irregular, build_up_down_routing(medium_irregular)
+        )
+        for _ in range(5):
+            sim.step()
+        assert sim.find_deadlocked_worms() == []

@@ -1,0 +1,113 @@
+"""Tests for routing diagnostics and level profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.core.downup import build_down_up_routing
+from repro.metrics.profile import (
+    level_share_profile,
+    level_utilization_profile,
+    render_level_profile,
+)
+from repro.routing.diagnostics import (
+    adaptivity,
+    compare_routings,
+    path_length_stats,
+    turn_usage,
+)
+from repro.routing.updown import build_up_down_routing
+from repro.topology import zoo
+
+
+class TestPathStats:
+    def test_line_paths(self):
+        r = build_up_down_routing(zoo.line(4))
+        ps = path_length_stats(r)
+        # pairs: 6 at length 1? line 0-1-2-3: lengths {1:6, 2:4, 3:2}
+        assert ps.histogram == {1: 6, 2: 4, 3: 2}
+        assert ps.maximum == 3
+        assert ps.mean == pytest.approx((6 + 8 + 6) / 12)
+
+    def test_histogram_counts_all_pairs(self, medium_irregular):
+        r = build_down_up_routing(medium_irregular)
+        ps = path_length_stats(r)
+        n = medium_irregular.n
+        assert sum(ps.histogram.values()) == n * (n - 1)
+
+
+class TestAdaptivity:
+    def test_deterministic_line_has_adaptivity_one(self):
+        r = build_up_down_routing(zoo.line(5))
+        assert adaptivity(r) == 1.0
+
+    def test_richer_network_more_adaptive(self, medium_irregular):
+        line = build_up_down_routing(zoo.line(6))
+        rich = build_down_up_routing(medium_irregular)
+        assert adaptivity(rich) > adaptivity(line)
+
+
+class TestTurnUsage:
+    def test_line_usage(self):
+        r = build_up_down_routing(zoo.line(3))
+        usage = turn_usage(r)
+        # dependencies: <0,1>-><1,2> (down,down) and <2,1>-><1,0> (up,up)
+        assert usage == {("DOWN", "DOWN"): 1, ("UP", "UP"): 1}
+
+    def test_no_prohibited_pairs_appear(self, medium_irregular):
+        r = build_up_down_routing(medium_irregular)
+        assert ("DOWN", "UP") not in turn_usage(r)
+
+    def test_compare_routings_rows(self, small_irregular):
+        rows = compare_routings(
+            [build_down_up_routing(small_irregular),
+             build_up_down_routing(small_irregular)]
+        )
+        assert len(rows) == 2
+        assert rows[0][0] == "down-up"
+        assert all(len(row) == 5 for row in rows)
+
+
+class TestLevelProfiles:
+    def test_share_sums_to_100(self, medium_irregular):
+        tree = build_coordinated_tree(medium_irregular)
+        util = np.random.default_rng(0).random(medium_irregular.num_channels)
+        share = level_share_profile(util, tree)
+        assert sum(share.values()) == pytest.approx(100.0)
+
+    def test_share_top_levels_equal_hot_spot_degree(self, medium_irregular):
+        from repro.metrics.utilization import (
+            degree_of_hot_spots,
+            node_utilization,
+        )
+
+        tree = build_coordinated_tree(medium_irregular)
+        util = np.random.default_rng(1).random(medium_irregular.num_channels)
+        share = level_share_profile(util, tree)
+        hs = degree_of_hot_spots(
+            node_utilization(util, medium_irregular), tree
+        )
+        assert share[0] + share[1] == pytest.approx(hs)
+
+    def test_zero_traffic_profile(self, medium_irregular):
+        tree = build_coordinated_tree(medium_irregular)
+        share = level_share_profile(
+            np.zeros(medium_irregular.num_channels), tree
+        )
+        assert all(v == 0.0 for v in share.values())
+
+    def test_utilization_profile_levels(self, medium_irregular):
+        tree = build_coordinated_tree(medium_irregular)
+        util = np.ones(medium_irregular.num_channels)
+        prof = level_utilization_profile(util, tree)
+        assert set(prof) == set(range(tree.depth + 1))
+        assert all(v == pytest.approx(1.0) for v in prof.values())
+
+    def test_render(self):
+        text = render_level_profile(
+            {"a": {0: 2.0, 1: 1.0}, "b": {0: 0.5, 1: 2.0}}, width=10
+        )
+        assert "a:" in text and "level  0" in text and "#" in text
+
+    def test_render_empty(self):
+        assert "(no profiles)" in render_level_profile({})

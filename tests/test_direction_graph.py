@@ -1,0 +1,172 @@
+"""Tests for Phase 2: DGs, ADDGs, realizability, and the canonical PT."""
+
+import pytest
+
+from repro.core.direction_graph import (
+    DOWN_UP_PROHIBITED_TURNS,
+    PAPER_SECTION_4_3_PRINTED_PT,
+    RELEASABLE_TURNS,
+    DirectionGraph,
+    Turn,
+    all_turns,
+    build_maximal_addg,
+    direction_cycle_realizable,
+    down_up_addg,
+)
+from repro.core.directions import Direction as D
+
+
+class TestDirectionGraph:
+    def test_complete_graph_size(self):
+        g = DirectionGraph.complete(D)
+        assert len(g.nodes) == 8
+        assert len(g.turns) == 8 * 7
+
+    def test_self_turn_rejected(self):
+        g = DirectionGraph()
+        with pytest.raises(ValueError, match="self-turn"):
+            g.add_turn(Turn(D.L_CROSS, D.L_CROSS))
+
+    def test_remove_missing_turn_raises(self):
+        g = DirectionGraph.complete([D.L_CROSS, D.R_CROSS])
+        g.remove_turn(Turn(D.L_CROSS, D.R_CROSS))
+        with pytest.raises(KeyError):
+            g.remove_turn(Turn(D.L_CROSS, D.R_CROSS))
+
+    def test_union(self):
+        a = DirectionGraph.complete([D.L_CROSS, D.R_CROSS])
+        b = DirectionGraph.complete([D.LU_TREE, D.RD_TREE])
+        u = a.union(b)
+        assert u.nodes == a.nodes | b.nodes
+        assert u.turns == a.turns | b.turns
+
+    def test_with_all_turns_between(self):
+        a = DirectionGraph([D.L_CROSS])
+        joined = a.with_all_turns_between({D.L_CROSS}, {D.R_CROSS})
+        assert joined.has_turn(D.L_CROSS, D.R_CROSS)
+        assert joined.has_turn(D.R_CROSS, D.L_CROSS)
+
+    def test_complement(self):
+        g = down_up_addg()
+        universe = DirectionGraph.complete(D)
+        assert g.complement_in(universe) == set(DOWN_UP_PROHIBITED_TURNS)
+
+    def test_digraph_cycles_found(self):
+        g = DirectionGraph(
+            turns=[Turn(D.L_CROSS, D.R_CROSS), Turn(D.R_CROSS, D.L_CROSS)]
+        )
+        assert g.digraph_cycles()
+
+
+class TestRealizability:
+    def test_two_cycle_opposites_realizable(self):
+        assert direction_cycle_realizable((D.LU_CROSS, D.RD_CROSS))
+        assert direction_cycle_realizable((D.L_CROSS, D.R_CROSS))
+        assert direction_cycle_realizable((D.LU_TREE, D.RD_TREE))
+
+    def test_all_downward_unrealizable(self):
+        # the paper's Figure 1(f) argument: LD_CROSS <-> RD_TREE loops in
+        # the DDG but can never close in a CG (y strictly increases)
+        assert not direction_cycle_realizable((D.LD_CROSS, D.RD_TREE))
+
+    def test_all_left_unrealizable(self):
+        assert not direction_cycle_realizable((D.LU_CROSS, D.LD_CROSS))
+        assert not direction_cycle_realizable((D.L_CROSS,))
+
+    def test_up_horizontal_down_realizable(self):
+        assert direction_cycle_realizable((D.RU_CROSS, D.L_CROSS, D.LD_CROSS))
+        assert direction_cycle_realizable((D.LU_CROSS, D.R_CROSS, D.RD_CROSS))
+
+    def test_empty_cycle(self):
+        assert not direction_cycle_realizable(())
+
+
+class TestCanonicalPT:
+    def test_eighteen_turns(self):
+        assert len(DOWN_UP_PROHIBITED_TURNS) == 18
+
+    def test_nothing_enters_lu_tree(self):
+        """All seven X -> LU_TREE turns are prohibited (root protection)."""
+        into_root = {t for t in DOWN_UP_PROHIBITED_TURNS if t.to is D.LU_TREE}
+        assert len(into_root) == 7
+
+    def test_connectivity_turn_allowed(self):
+        """Theorem 1 relies on T(LU_TREE -> RD_TREE) staying allowed."""
+        assert Turn(D.LU_TREE, D.RD_TREE) not in DOWN_UP_PROHIBITED_TURNS
+
+    def test_down_then_up_cross_allowed(self):
+        """The DOWN/UP signature: down-cross before up-cross is legal."""
+        assert Turn(D.LD_CROSS, D.RU_CROSS) not in DOWN_UP_PROHIBITED_TURNS
+        assert Turn(D.RD_CROSS, D.LU_CROSS) not in DOWN_UP_PROHIBITED_TURNS
+
+    def test_up_before_down_cross_prohibited(self):
+        for up in (D.LU_CROSS, D.RU_CROSS):
+            for down in (D.LD_CROSS, D.RD_CROSS):
+                assert Turn(up, down) in DOWN_UP_PROHIBITED_TURNS
+
+    def test_releasable_turns_are_prohibited(self):
+        assert set(RELEASABLE_TURNS) <= DOWN_UP_PROHIBITED_TURNS
+
+    def test_addg_is_realizably_acyclic(self):
+        assert down_up_addg().is_realizably_acyclic()
+
+    def test_addg_is_maximal(self):
+        """Definition 11: re-adding any prohibited turn creates a
+        realizable direction cycle."""
+        for t in DOWN_UP_PROHIBITED_TURNS:
+            g = down_up_addg()
+            g.add_turn(t)
+            assert not g.is_realizably_acyclic(), (
+                f"re-adding {t} should break acyclicity"
+            )
+
+
+class TestPhase2Construction:
+    def test_reproduces_canonical_pt(self):
+        addg, trace = build_maximal_addg()
+        prohibited = addg.complement_in(DirectionGraph.complete(D))
+        assert prohibited == set(DOWN_UP_PROHIBITED_TURNS)
+        assert len(trace) == 18
+
+    def test_trace_steps_in_paper_order(self):
+        _, trace = build_maximal_addg()
+        steps = [t.step.split("/")[0] for t in trace]
+        assert steps == sorted(steps, key=lambda s: int(s[4]))
+        assert steps.count("step1") == 4
+        assert steps.count("step2") == 2
+        assert steps.count("step3") == 4
+        assert steps.count("step4") == 8
+
+    def test_every_removal_breaks_a_realizable_cycle(self):
+        _, trace = build_maximal_addg()
+        for entry in trace:
+            assert direction_cycle_realizable(entry.breaks_cycle)
+            # the removed turn participates in the cycle it breaks
+            cyc = entry.breaks_cycle
+            pairs = set(zip(cyc, cyc[1:] + cyc[:1]))
+            assert (entry.removed.frm, entry.removed.to) in pairs
+
+
+class TestErratumData:
+    def test_printed_pt_differs_in_exactly_four_turns(self):
+        only_printed = PAPER_SECTION_4_3_PRINTED_PT - DOWN_UP_PROHIBITED_TURNS
+        only_fixed = DOWN_UP_PROHIBITED_TURNS - PAPER_SECTION_4_3_PRINTED_PT
+        assert len(only_printed) == 4 and len(only_fixed) == 4
+        assert all(t.frm.is_horizontal and t.to.is_upward for t in only_printed)
+        assert all(t.frm.is_upward and t.to.is_horizontal for t in only_fixed)
+
+    def test_printed_pt_is_not_realizably_acyclic(self):
+        """The printed PT leaves e.g. RU -> L -> LD realizable & allowed."""
+        g = DirectionGraph.complete(D)
+        for t in PAPER_SECTION_4_3_PRINTED_PT:
+            g.remove_turn(t)
+        assert not g.is_realizably_acyclic()
+
+    def test_printed_pt_also_18_turns(self):
+        assert len(PAPER_SECTION_4_3_PRINTED_PT) == 18
+
+
+def test_all_turns_helper():
+    ts = all_turns([D.L_CROSS, D.R_CROSS, D.LU_TREE])
+    assert len(ts) == 6
+    assert all(t.frm is not t.to for t in ts)

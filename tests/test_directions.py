@@ -1,0 +1,81 @@
+"""Unit tests for Definitions 4-5: relative positions and directions."""
+
+import pytest
+
+from repro.core.directions import (
+    Direction,
+    RelativePosition,
+    classify_channel,
+    relative_position,
+)
+
+
+class TestRelativePosition:
+    @pytest.mark.parametrize(
+        "sink,expected",
+        [
+            ((0, 0), RelativePosition.LEFT_UP),
+            ((0, 5), RelativePosition.LEFT),
+            ((0, 9), RelativePosition.LEFT_DOWN),
+            ((9, 0), RelativePosition.RIGHT_UP),
+            ((9, 5), RelativePosition.RIGHT),
+            ((9, 9), RelativePosition.RIGHT_DOWN),
+        ],
+    )
+    def test_all_six_positions(self, sink, expected):
+        assert relative_position((5, 5), sink) is expected
+
+    def test_equal_x_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            relative_position((3, 1), (3, 2))
+
+
+class TestClassifyChannel:
+    def test_tree_channel_to_parent_is_lu_tree(self):
+        # parent precedes the child in preorder and sits one level up
+        assert classify_channel((4, 2), (1, 1), True) is Direction.LU_TREE
+
+    def test_tree_channel_to_child_is_rd_tree(self):
+        assert classify_channel((1, 1), (4, 2), True) is Direction.RD_TREE
+
+    def test_tree_channel_with_bad_coords_rejected(self):
+        with pytest.raises(ValueError, match="not parent/child"):
+            classify_channel((1, 1), (4, 1), True)
+
+    @pytest.mark.parametrize(
+        "sink,expected",
+        [
+            ((0, 0), Direction.LU_CROSS),
+            ((0, 5), Direction.L_CROSS),
+            ((0, 9), Direction.LD_CROSS),
+            ((9, 0), Direction.RU_CROSS),
+            ((9, 5), Direction.R_CROSS),
+            ((9, 9), Direction.RD_CROSS),
+        ],
+    )
+    def test_cross_channels(self, sink, expected):
+        assert classify_channel((5, 5), sink, False) is expected
+
+
+class TestDirectionProperties:
+    def test_eight_directions(self):
+        assert len(Direction) == 8
+        assert sorted(int(d) for d in Direction) == list(range(8))
+
+    def test_tree_partition(self):
+        trees = {d for d in Direction if d.is_tree}
+        assert trees == {Direction.LU_TREE, Direction.RD_TREE}
+        assert all(d.is_cross for d in Direction if d not in trees)
+
+    def test_vertical_partition(self):
+        for d in Direction:
+            kinds = [d.is_upward, d.is_downward, d.is_horizontal]
+            assert sum(kinds) == 1, f"{d} must be exactly one of up/down/flat"
+
+    def test_upward_set(self):
+        ups = {d for d in Direction if d.is_upward}
+        assert ups == {Direction.LU_TREE, Direction.LU_CROSS, Direction.RU_CROSS}
+
+    def test_horizontal_set(self):
+        flats = {d for d in Direction if d.is_horizontal}
+        assert flats == {Direction.L_CROSS, Direction.R_CROSS}

@@ -1,0 +1,66 @@
+"""Tests for the analytic latency model."""
+
+import math
+
+import pytest
+
+from repro.analysis.latency_model import build_latency_model
+from repro.core.downup import build_down_up_routing
+from repro.routing.updown import build_up_down_routing
+from repro.simulator import SimulationConfig, simulate
+from repro.topology import zoo
+from repro.topology.generator import random_irregular_topology
+
+
+class TestModelStructure:
+    def test_unloaded_latency_on_a_line(self):
+        # line of 3: pairs at 1 hop (4) and 2 hops (2): mean = 8/6
+        routing = build_up_down_routing(zoo.line(3))
+        cfg = SimulationConfig(packet_length=16)
+        model = build_latency_model(routing, cfg)
+        assert model.mean_hops == pytest.approx(8 / 6)
+        assert model.unloaded_latency == pytest.approx(3 * 8 / 6 + 15)
+
+    def test_predict_monotone_in_load(self, small_irregular):
+        routing = build_down_up_routing(small_irregular)
+        model = build_latency_model(routing, SimulationConfig(packet_length=16))
+        lats = [model.predict(x * model.bound.bound) for x in (0.1, 0.4, 0.7)]
+        assert lats == sorted(lats)
+
+    def test_predict_diverges_at_bound(self, small_irregular):
+        routing = build_down_up_routing(small_irregular)
+        model = build_latency_model(routing, SimulationConfig(packet_length=16))
+        assert math.isinf(model.predict(model.bound.bound))
+        assert math.isfinite(model.predict(0.5 * model.bound.bound))
+
+
+class TestAgainstSimulation:
+    def test_matches_simulator_at_low_load(self):
+        """The zero-load term must match the measured mean latency to
+        within queueing noise at 10% of the bound."""
+        topo = random_irregular_topology(24, 4, rng=17)
+        routing = build_down_up_routing(topo)
+        cfg = SimulationConfig(
+            packet_length=16, warmup_clocks=1_000, measure_clocks=6_000,
+            seed=5,
+        )
+        model = build_latency_model(routing, cfg)
+        rate = 0.1 * model.bound.bound
+        stats = simulate(routing, cfg.with_rate(rate))
+        predicted = model.predict(rate)
+        assert stats.average_latency == pytest.approx(predicted, rel=0.25)
+
+    def test_underestimates_near_saturation(self):
+        """Wormhole blocking makes real latency exceed the M/M/1-ish
+        term well before the analytic bound."""
+        topo = random_irregular_topology(24, 4, rng=18)
+        routing = build_down_up_routing(topo)
+        cfg = SimulationConfig(
+            packet_length=16, warmup_clocks=1_000, measure_clocks=4_000,
+            seed=6,
+        )
+        model = build_latency_model(routing, cfg)
+        rate = 0.9 * model.bound.bound
+        stats = simulate(routing, cfg.with_rate(rate))
+        # measured >> unloaded: heavy congestion present
+        assert stats.average_latency > 2 * model.unloaded_latency

@@ -1,0 +1,115 @@
+"""Tests for the Section-5 metrics and the saturation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.core.downup import build_down_up_routing
+from repro.metrics.saturation import (
+    measure_at_saturation,
+    saturation_throughput,
+    sweep_injection_rates,
+)
+from repro.metrics.utilization import (
+    degree_of_hot_spots,
+    leaves_utilization,
+    node_utilization,
+    traffic_load,
+    utilization_report,
+)
+from repro.simulator.config import SimulationConfig
+from repro.topology.graph import Topology
+
+
+@pytest.fixture
+def star5():
+    """Root 0 with children 1 and 2; 2 has children 3 and 4."""
+    return Topology(5, [(0, 1), (0, 2), (2, 3), (2, 4)])
+
+
+class TestNodeUtilization:
+    def test_divides_by_degree(self, star5):
+        util = np.zeros(star5.num_channels)
+        util[star5.channel_id(0, 1)] = 0.6
+        util[star5.channel_id(0, 2)] = 0.2
+        nu = node_utilization(util, star5)
+        assert nu[0] == pytest.approx((0.6 + 0.2) / 2)
+        assert nu[1] == 0.0
+
+    def test_wrong_length_rejected(self, star5):
+        with pytest.raises(ValueError):
+            node_utilization(np.zeros(3), star5)
+
+    def test_uniform_channels_uniform_nodes(self, star5):
+        nu = node_utilization(np.full(star5.num_channels, 0.3), star5)
+        assert np.allclose(nu, 0.3)
+
+
+class TestDerivedMetrics:
+    def test_traffic_load_zero_for_balanced(self):
+        assert traffic_load(np.full(7, 0.4)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_traffic_load_positive_for_skewed(self):
+        assert traffic_load(np.array([0.0, 1.0])) == 0.5
+
+    def test_hot_spots_percentage(self, star5):
+        tree = build_coordinated_tree(star5)
+        # levels: 0 -> {0}, 1 -> {1, 2}, 2 -> {3, 4}
+        nu = np.array([1.0, 1.0, 1.0, 1.0, 1.0])
+        assert degree_of_hot_spots(nu, tree) == pytest.approx(60.0)
+        nu2 = np.array([0.0, 0.0, 0.0, 1.0, 1.0])
+        assert degree_of_hot_spots(nu2, tree) == 0.0
+
+    def test_hot_spots_empty_traffic(self, star5):
+        tree = build_coordinated_tree(star5)
+        assert degree_of_hot_spots(np.zeros(5), tree) == 0.0
+
+    def test_leaves_utilization(self, star5):
+        tree = build_coordinated_tree(star5)
+        assert sorted(tree.leaves()) == [1, 3, 4]
+        nu = np.array([9.0, 0.3, 9.0, 0.6, 0.9])
+        assert leaves_utilization(nu, tree) == pytest.approx(0.6)
+
+    def test_report_keys(self, star5):
+        tree = build_coordinated_tree(star5)
+        rep = utilization_report(np.zeros(star5.num_channels), tree)
+        assert set(rep) == {
+            "node_utilization",
+            "traffic_load",
+            "hot_spot_degree",
+            "leaves_utilization",
+        }
+
+
+class TestSaturation:
+    def test_sweep_returns_point_per_rate(self, small_irregular):
+        routing = build_down_up_routing(small_irregular)
+        cfg = SimulationConfig(
+            packet_length=8, warmup_clocks=200, measure_clocks=600, seed=0
+        )
+        pts = sweep_injection_rates(routing, cfg, [0.02, 0.1])
+        assert [p.offered for p in pts] == [0.02, 0.1]
+        assert all(p.accepted > 0 for p in pts)
+        assert saturation_throughput(pts) == max(p.accepted for p in pts)
+
+    def test_sweep_empty_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_throughput([])
+
+    def test_measure_at_saturation_builds_backlog(self, small_irregular):
+        routing = build_down_up_routing(small_irregular)
+        cfg = SimulationConfig(
+            packet_length=8, warmup_clocks=300, measure_clocks=1_000, seed=0
+        )
+        stats = measure_at_saturation(routing, cfg)
+        assert stats.queue_backlog > 0
+        assert 0 < stats.accepted_traffic < 1.0
+
+    def test_progress_callback_invoked(self, small_irregular):
+        routing = build_down_up_routing(small_irregular)
+        cfg = SimulationConfig(
+            packet_length=8, warmup_clocks=100, measure_clocks=300, seed=0
+        )
+        lines = []
+        sweep_injection_rates(routing, cfg, [0.05], progress=lines.append)
+        assert len(lines) == 1 and "accepted" in lines[0]

@@ -1,0 +1,127 @@
+"""The paper's worked examples, executable (Figures 1-7).
+
+Figure 1 gives a concrete 5-switch network with its coordinated tree,
+communication graph, direction set and a turn cycle; every fact the
+paper states about it is asserted here against our construction.
+Figures 2-6 (the Phase-2 ADDG pipeline) are covered structurally in
+``test_direction_graph.py``; the Figure-7 phenomenon (redundant
+prohibited turns that Phase 3 releases) is exercised on concrete
+networks in ``test_cycle_detection.py``.
+"""
+
+import numpy as np
+
+from repro.core.communication_graph import CommunicationGraph
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.core.directions import Direction, RelativePosition, relative_position
+from repro.routing.base import TurnModel
+from repro.routing.channel_graph import find_turn_cycle
+from tests.conftest import FIG1_IDS as V
+
+
+def fig1_cg(paper_figure1_topology):
+    return CommunicationGraph.from_tree(
+        build_coordinated_tree(paper_figure1_topology)
+    )
+
+
+class TestFigure1Coordinates:
+    """Figure 1(c): "Y(v1) = 0, X(v2) = 2" and the stated positions."""
+
+    def test_root_is_v1_at_level_zero(self, paper_figure1_topology):
+        ct = build_coordinated_tree(paper_figure1_topology)
+        assert ct.root == V["v1"]
+        assert ct.y[V["v1"]] == 0
+
+    def test_x_of_v2_is_two(self, paper_figure1_topology):
+        ct = build_coordinated_tree(paper_figure1_topology)
+        assert ct.x[V["v2"]] == 2
+
+    def test_v3_is_right_node_of_v5(self, paper_figure1_topology):
+        ct = build_coordinated_tree(paper_figure1_topology)
+        pos = relative_position(ct.coordinate(V["v5"]), ct.coordinate(V["v3"]))
+        assert pos is RelativePosition.RIGHT
+
+    def test_v3_is_left_node_of_v4(self, paper_figure1_topology):
+        ct = build_coordinated_tree(paper_figure1_topology)
+        pos = relative_position(ct.coordinate(V["v4"]), ct.coordinate(V["v3"]))
+        assert pos is RelativePosition.LEFT
+
+    def test_v3_is_right_down_node_of_v1(self, paper_figure1_topology):
+        ct = build_coordinated_tree(paper_figure1_topology)
+        pos = relative_position(ct.coordinate(V["v1"]), ct.coordinate(V["v3"]))
+        assert pos is RelativePosition.RIGHT_DOWN
+
+
+class TestFigure1Directions:
+    """Figure 1(d): the stated channel directions."""
+
+    def test_v2_to_v4_is_ru_cross(self, paper_figure1_topology):
+        cg = fig1_cg(paper_figure1_topology)
+        cid = paper_figure1_topology.channel_id(V["v2"], V["v4"])
+        assert cg.d(cid) is Direction.RU_CROSS
+
+    def test_v5_to_v2_is_rd_tree(self, paper_figure1_topology):
+        cg = fig1_cg(paper_figure1_topology)
+        cid = paper_figure1_topology.channel_id(V["v5"], V["v2"])
+        assert cg.d(cid) is Direction.RD_TREE
+
+    def test_rd_tree_ru_cross_is_a_turn_at_v2(self, paper_figure1_topology):
+        """"T_{RD_TREE, RU_CROSS} is a turn" — at v2 between those channels."""
+        cg = fig1_cg(paper_figure1_topology)
+        e1 = paper_figure1_topology.channel_id(V["v5"], V["v2"])
+        e2 = paper_figure1_topology.channel_id(V["v2"], V["v4"])
+        assert (e1, e2) in set(cg.turns_at(V["v2"]))
+
+    def test_direction_set_matches_paper(self, paper_figure1_topology):
+        """"D = {LU_TREE, RD_TREE, LD_CROSS, RU_CROSS, R_CROSS, L_CROSS}"
+        — notably *without* LU_CROSS / RD_CROSS for this example."""
+        cg = fig1_cg(paper_figure1_topology)
+        present = {d for d, c in cg.direction_histogram().items() if c > 0}
+        assert present == {
+            Direction.LU_TREE,
+            Direction.RD_TREE,
+            Direction.LD_CROSS,
+            Direction.RU_CROSS,
+            Direction.R_CROSS,
+            Direction.L_CROSS,
+        }
+
+
+class TestFigure1TurnCycle:
+    """Figure 1(d): (v5->v1, v1->v3, v3->v5) closes a turn cycle when all
+    turns are allowed."""
+
+    def test_cycle_channels_have_stated_directions(self, paper_figure1_topology):
+        cg = fig1_cg(paper_figure1_topology)
+        t = paper_figure1_topology
+        assert cg.d(t.channel_id(V["v5"], V["v1"])) is Direction.LU_TREE
+        assert cg.d(t.channel_id(V["v1"], V["v3"])) is Direction.RD_TREE
+        assert cg.d(t.channel_id(V["v3"], V["v5"])) is Direction.L_CROSS
+
+    def test_unrestricted_turn_model_has_cycle(self, paper_figure1_topology):
+        tm = TurnModel(
+            paper_figure1_topology,
+            [0] * paper_figure1_topology.num_channels,
+            np.ones((1, 1), dtype=bool),
+        )
+        assert find_turn_cycle(tm) is not None
+
+
+class TestFigure1f:
+    """Figure 1(f): allowing only T(LD_CROSS <-> RD_TREE) at every node
+    yields no turn cycle even though the DDG itself has a 2-cycle."""
+
+    def test_two_turn_ddg_is_cycle_free_in_cg(self, paper_figure1_topology):
+        cg = fig1_cg(paper_figure1_topology)
+        allowed = np.zeros((8, 8), dtype=bool)
+        np.fill_diagonal(allowed, True)  # same-direction continuations
+        allowed[Direction.LD_CROSS, Direction.RD_TREE] = True
+        allowed[Direction.RD_TREE, Direction.LD_CROSS] = True
+        tm = TurnModel(
+            paper_figure1_topology,
+            [int(d) for d in cg.direction],
+            allowed,
+            class_names=[d.name for d in Direction],
+        )
+        assert find_turn_cycle(tm) is None

@@ -1,0 +1,60 @@
+"""Tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.experiments.configs import get_preset
+from repro.experiments.parallel import (
+    WorkUnit,
+    figure8_units,
+    run_parallel,
+    run_unit,
+    tables_units,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    # trim to keep the pool test fast
+    return get_preset("tiny").scaled(
+        warmup_clocks=100, measure_clocks=400, rates=(0.05, 0.2)
+    )
+
+
+class TestWorkLists:
+    def test_figure8_units_cover_grid(self, tiny):
+        units = figure8_units(tiny, ports=4, methods=("M1",))
+        # samples x methods x algorithms x rates
+        assert len(units) == 1 * 1 * 2 * 2
+        assert {u.rate for u in units} == set(tiny.rates)
+
+    def test_tables_units(self, tiny):
+        units = tables_units(tiny, methods=("M1", "M2"))
+        assert len(units) == 1 * 1 * 2 * 2  # ports x samples x methods x algs
+        assert all(u.rate == 1.0 for u in units)
+
+
+class TestExecution:
+    def test_run_unit_returns_metrics(self, tiny):
+        unit = WorkUnit(tiny, 4, 0, "down-up", "M1", 0.05)
+        res = run_unit(unit)
+        assert res["key"] == ("down-up", "M1", 4, 0, 0.05)
+        assert res["accepted"] > 0
+        assert "hot_spot_degree" in res["report"]
+
+    def test_serial_path_matches_unit(self, tiny):
+        units = [WorkUnit(tiny, 4, 0, "down-up", "M1", 0.05)]
+        serial = run_parallel(units, max_workers=1)
+        assert serial[0] == run_unit(units[0])
+
+    def test_parallel_matches_serial(self, tiny):
+        """Bit-identical results regardless of worker count."""
+        units = figure8_units(tiny, ports=4, methods=("M1",))[:4]
+        serial = run_parallel(units, max_workers=1)
+        parallel = run_parallel(units, max_workers=2)
+        assert serial == parallel
+
+    def test_progress_callbacks(self, tiny):
+        lines = []
+        units = [WorkUnit(tiny, 4, 0, "l-turn", "M1", 0.05)]
+        run_parallel(units, max_workers=1, progress=lines.append)
+        assert len(lines) == 1 and "[1/1]" in lines[0]

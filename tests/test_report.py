@@ -1,0 +1,67 @@
+"""Edge-case tests for paper-layout reporting."""
+
+import pytest
+
+from repro.experiments.report import render_paper_table, winners
+from repro.experiments.tables import TablesResult
+
+
+def make_result(values):
+    r = TablesResult(preset="test", kind="static", samples=1)
+    r.values.update(values)
+    return r
+
+
+def test_missing_cells_render_dash():
+    r = make_result({("hot_spot_degree", "down-up", "M1", 4): 12.0})
+    text = render_paper_table(
+        r, "hot_spot_degree", ("l-turn", "down-up"), (4,), ("M1", "M2")
+    )
+    assert "-" in text.splitlines()[-1]  # M2 row has no data
+    assert "| 12" in text  # the one real value renders
+
+
+def test_winners_smaller_better_metrics():
+    r = make_result(
+        {
+            ("hot_spot_degree", "down-up", "M1", 4): 10.0,
+            ("hot_spot_degree", "l-turn", "M1", 4): 14.0,
+            ("node_utilization", "down-up", "M1", 4): 0.2,
+            ("node_utilization", "l-turn", "M1", 4): 0.1,
+        }
+    )
+    win = winners(r, (4,))
+    assert win["hot_spot_degree"] == "down-up"  # smaller wins
+    assert win["node_utilization"] == "down-up"  # larger wins
+
+
+def test_winners_tie():
+    r = make_result(
+        {
+            ("traffic_load", "down-up", "M1", 4): 0.5,
+            ("traffic_load", "l-turn", "M1", 4): 0.5,
+        }
+    )
+    assert winners(r, (4,))["traffic_load"] == "tie"
+
+
+def test_winners_skip_single_algorithm_metrics():
+    r = make_result({("leaves_utilization", "down-up", "M1", 4): 0.4})
+    assert "leaves_utilization" not in winners(r, (4,))
+
+
+def test_winners_respect_ports_filter():
+    r = make_result(
+        {
+            ("hot_spot_degree", "down-up", "M1", 8): 10.0,
+            ("hot_spot_degree", "l-turn", "M1", 8): 14.0,
+        }
+    )
+    assert "hot_spot_degree" not in winners(r, (4,))
+    assert winners(r, (8,))["hot_spot_degree"] == "down-up"
+
+
+def test_unknown_metric_rejected():
+    r = make_result({})
+    with pytest.raises(KeyError):
+        render_paper_table(r, "nope", ("a",), (4,))

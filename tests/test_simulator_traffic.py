@@ -1,0 +1,135 @@
+"""Tests for traffic patterns and statistics collection."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.stats import StatsCollector
+from repro.simulator.traffic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    UniformTraffic,
+)
+from repro.topology.graph import Topology
+
+
+class TestUniform:
+    def test_never_self(self):
+        t = UniformTraffic(8)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            src = int(rng.integers(8))
+            assert t.destination(src, rng) != src
+
+    def test_covers_all_destinations(self):
+        t = UniformTraffic(6)
+        rng = np.random.default_rng(1)
+        seen = {t.destination(0, rng) for _ in range(400)}
+        assert seen == {1, 2, 3, 4, 5}
+
+    def test_roughly_uniform(self):
+        t = UniformTraffic(4)
+        rng = np.random.default_rng(2)
+        counts = np.zeros(4)
+        for _ in range(6000):
+            counts[t.destination(0, rng)] += 1
+        assert counts[0] == 0
+        assert counts[1:].min() > 0.8 * counts[1:].max()
+
+    def test_needs_two_switches(self):
+        with pytest.raises(ValueError):
+            UniformTraffic(1)
+
+
+class TestHotspot:
+    def test_hotspot_bias(self):
+        t = HotspotTraffic(10, hotspots=[3], fraction=0.5)
+        rng = np.random.default_rng(3)
+        hits = sum(t.destination(0, rng) == 3 for _ in range(4000))
+        # ~50% direct + ~5.5% background
+        assert 0.4 < hits / 4000 < 0.7
+
+    def test_never_self_even_when_hotspot(self):
+        t = HotspotTraffic(5, hotspots=[2], fraction=1.0)
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            assert t.destination(2, rng) != 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, hotspots=[])
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, hotspots=[9])
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, hotspots=[0], fraction=1.5)
+
+
+class TestBitComplement:
+    def test_fixed_mapping(self):
+        t = BitComplementTraffic(8)
+        rng = np.random.default_rng(5)
+        assert t.destination(0, rng) == 7
+        assert t.destination(3, rng) == 4
+
+    def test_midpoint_falls_back(self):
+        t = BitComplementTraffic(5)
+        rng = np.random.default_rng(6)
+        assert t.destination(2, rng) != 2
+
+
+class TestStatsCollector:
+    def test_inactive_collects_nothing(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        sc = StatsCollector(topo)
+        sc.on_channel_entry(0)
+        sc.on_consume(1)
+        sc.on_generate()
+        assert sc.channel_flits.sum() == 0
+        assert sc.generated_packets == 0
+
+    def test_active_collects(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        sc = StatsCollector(topo)
+        sc.active = True
+        sc.on_channel_entry(0)
+        sc.on_consume(2, flits=3)
+        sc.on_inject(0)
+        sc.on_generate()
+        sc.on_delivered(latency=10, header_latency=5, hops=2)
+        sc.window_clocks = 100
+        stats = sc.finalize(queue_backlog=1)
+        assert stats.channel_flits[0] == 1
+        assert stats.consumed_flits[2] == 3
+        assert stats.accepted_traffic == pytest.approx(3 / (100 * 3))
+        assert stats.average_latency == 10.0
+        assert stats.average_hops == 2.0
+        assert stats.queue_backlog == 1
+
+    def test_finalize_requires_window(self):
+        topo = Topology(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            StatsCollector(topo).finalize(0)
+
+    def test_empty_latency_is_nan(self):
+        topo = Topology(2, [(0, 1)])
+        sc = StatsCollector(topo)
+        sc.window_clocks = 10
+        stats = sc.finalize(0)
+        assert np.isnan(stats.average_latency)
+        assert np.isnan(stats.p99_latency)
+
+    def test_summary_keys(self):
+        topo = Topology(2, [(0, 1)])
+        sc = StatsCollector(topo)
+        sc.window_clocks = 10
+        s = sc.finalize(0).summary()
+        assert {"accepted_traffic", "avg_latency", "clocks"} <= set(s)
+
+    def test_channel_utilization_normalised(self):
+        topo = Topology(2, [(0, 1)])
+        sc = StatsCollector(topo)
+        sc.active = True
+        for _ in range(5):
+            sc.on_channel_entry(0)
+        sc.window_clocks = 10
+        util = sc.finalize(0).channel_utilization()
+        assert util[0] == 0.5 and util[1] == 0.0

@@ -1,0 +1,96 @@
+"""Tests for experiment statistics (CIs and paired comparisons)."""
+
+import math
+
+import pytest
+
+from repro.experiments.statistics import (
+    PairedComparison,
+    Summary,
+    paired_compare,
+    paired_table_comparison,
+    summarize,
+    summarize_table_result,
+    t_quantile_975,
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([3.5])
+        assert s.mean == 3.5 and s.half_width == 0.0 and s.n == 1
+
+    def test_constant_sample_zero_width(self):
+        s = summarize([2.0, 2.0, 2.0])
+        assert s.half_width == 0.0
+
+    def test_known_interval(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        sem = 1.0 / math.sqrt(3)
+        assert s.half_width == pytest.approx(4.303 * sem, rel=1e-3)
+        assert s.low < 2.0 < s.high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_t_quantiles(self):
+        assert t_quantile_975(1) == pytest.approx(12.706)
+        assert t_quantile_975(100) == pytest.approx(1.96)
+        with pytest.raises(ValueError):
+            t_quantile_975(0)
+
+
+class TestPaired:
+    def test_consistent_difference_is_significant(self):
+        a = [1.0, 1.1, 1.2, 1.05]
+        b = [0.5, 0.62, 0.71, 0.58]
+        cmp = paired_compare(a, b)
+        assert cmp.significant
+        assert cmp.wins_a == 4 and cmp.wins_b == 0
+        assert cmp.mean_difference > 0
+
+    def test_noisy_tie_not_significant(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [2.0, 1.0, 4.0, 3.0]
+        cmp = paired_compare(a, b)
+        assert not cmp.significant
+        assert cmp.wins_a == 2 and cmp.wins_b == 2
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            paired_compare([1.0], [1.0, 2.0])
+
+    def test_paired_beats_unpaired_sensitivity(self):
+        """Per-sample noise shared by both arms cancels in the pairing."""
+        base = [10.0, 20.0, 30.0, 40.0, 50.0]
+        a = [x + 1.0 for x in base]
+        b = list(base)
+        cmp = paired_compare(a, b)
+        assert cmp.significant  # despite stddev(base) >> 1
+        s_a, s_b = summarize(a), summarize(b)
+        # unpaired intervals overlap massively
+        assert s_a.low < s_b.high
+
+
+class TestTableHelpers:
+    RAW = [
+        ("hot", "du", "M1", 4, 0, 10.0),
+        ("hot", "du", "M1", 4, 1, 11.0),
+        ("hot", "lt", "M1", 4, 0, 13.0),
+        ("hot", "lt", "M1", 4, 1, 14.5),
+        ("hot", "du", "M1", 8, 0, 9.0),
+        ("hot", "lt", "M1", 8, 0, 12.0),
+    ]
+
+    def test_summaries(self):
+        sums = summarize_table_result(self.RAW)
+        assert sums[("hot", "du", "M1", 4)].mean == pytest.approx(10.5)
+        assert sums[("hot", "lt", "M1", 8)].n == 1
+
+    def test_paired_table_comparison(self):
+        cmp = paired_table_comparison(self.RAW, "hot", "lt", "du")
+        assert set(cmp) == {("M1", 4), ("M1", 8)}
+        assert cmp[("M1", 4)].mean_difference == pytest.approx(3.25)
+        assert cmp[("M1", 4)].wins_a == 2

@@ -1,0 +1,114 @@
+"""Unit tests for the Topology model (paper Definition 1)."""
+
+import pytest
+
+from repro.topology.graph import Topology, path_channels
+
+
+class TestConstruction:
+    def test_links_are_normalised_and_sorted(self):
+        t = Topology(4, [(2, 1), (0, 3), (1, 0)])
+        assert t.links == ((0, 1), (0, 3), (1, 2))
+
+    def test_channel_ids_follow_link_order(self):
+        t = Topology(3, [(0, 1), (1, 2)])
+        assert t.channel(0).start == 0 and t.channel(0).sink == 1
+        assert t.channel(1).start == 1 and t.channel(1).sink == 0
+        assert t.channel(2).start == 1 and t.channel(2).sink == 2
+
+    def test_reverse_channel_is_xor_one(self):
+        t = Topology(3, [(0, 1), (1, 2)])
+        for ch in t.channels:
+            rev = t.channel(ch.reverse_cid)
+            assert rev.cid == ch.cid ^ 1
+            assert (rev.start, rev.sink) == (ch.sink, ch.start)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Topology(2, [(1, 1)])
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_link_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Topology(2, [(0, 2)])
+
+    def test_zero_switches_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0, [])
+
+    def test_port_bound_enforced(self):
+        with pytest.raises(ValueError, match="port"):
+            Topology(4, [(0, 1), (0, 2), (0, 3)], ports=2)
+
+    def test_port_bound_allows_exact_degree(self):
+        t = Topology(4, [(0, 1), (0, 2), (0, 3)], ports=3)
+        assert t.degree(0) == 3
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        t = Topology(4, [(0, 3), (0, 1), (0, 2)])
+        assert t.neighbors(0) == (1, 2, 3)
+
+    def test_output_and_input_channels_partition(self):
+        t = Topology(3, [(0, 1), (1, 2), (0, 2)])
+        for v in range(3):
+            for c in t.output_channels(v):
+                assert t.channel(c).start == v
+            for c in t.input_channels(v):
+                assert t.channel(c).sink == v
+        all_out = [c for v in range(3) for c in t.output_channels(v)]
+        assert sorted(all_out) == list(range(t.num_channels))
+
+    def test_channel_id_lookup(self):
+        t = Topology(3, [(0, 1), (1, 2)])
+        assert t.channel_id(0, 1) == 0
+        assert t.channel_id(1, 0) == 1
+        with pytest.raises(KeyError):
+            t.channel_id(0, 2)
+
+    def test_has_link(self):
+        t = Topology(3, [(0, 1)])
+        assert t.has_link(0, 1) and t.has_link(1, 0)
+        assert not t.has_link(0, 2)
+
+    def test_counts(self):
+        t = Topology(5, [(0, 1), (1, 2), (2, 3)])
+        assert t.num_links == 3
+        assert t.num_channels == 6
+
+
+class TestConnectivity:
+    def test_connected_line(self):
+        assert Topology(3, [(0, 1), (1, 2)]).is_connected()
+
+    def test_disconnected(self):
+        assert not Topology(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_single_switch_connected(self):
+        assert Topology(1, []).is_connected()
+
+    def test_isolated_switch(self):
+        assert not Topology(3, [(0, 1)]).is_connected()
+
+
+class TestEquality:
+    def test_equal_topologies(self):
+        a = Topology(3, [(0, 1), (1, 2)])
+        b = Topology(3, [(1, 2), (0, 1)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_links(self):
+        a = Topology(3, [(0, 1), (1, 2)])
+        b = Topology(3, [(0, 1), (0, 2)])
+        assert a != b
+
+
+def test_path_channels_roundtrip():
+    t = Topology(4, [(0, 1), (1, 2), (2, 3)])
+    cids = path_channels(t, [0, 1, 2, 3])
+    assert [t.channel(c).start for c in cids] == [0, 1, 2]
+    assert [t.channel(c).sink for c in cids] == [1, 2, 3]

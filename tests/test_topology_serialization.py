@@ -1,0 +1,48 @@
+"""JSON round-trip tests for topologies."""
+
+import pytest
+
+from repro.topology.generator import random_irregular_topology
+from repro.topology.graph import Topology
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_json,
+    topology_to_json,
+)
+
+
+def test_roundtrip_simple():
+    t = Topology(4, [(0, 1), (1, 2), (2, 3)], ports=4)
+    back = topology_from_json(topology_to_json(t))
+    assert back == t
+    assert back.ports == 4
+
+
+def test_roundtrip_no_ports():
+    t = Topology(3, [(0, 1), (1, 2)])
+    back = topology_from_json(topology_to_json(t))
+    assert back == t and back.ports is None
+
+
+def test_roundtrip_random_sample():
+    t = random_irregular_topology(32, 8, rng=11)
+    assert topology_from_json(topology_to_json(t)) == t
+
+
+def test_json_is_canonical():
+    a = Topology(3, [(1, 2), (0, 1)])
+    b = Topology(3, [(0, 1), (2, 1)])
+    assert topology_to_json(a) == topology_to_json(b)
+
+
+def test_malformed_json_rejected():
+    with pytest.raises(ValueError, match="malformed"):
+        topology_from_json('{"n": 3}')
+
+
+def test_file_roundtrip(tmp_path):
+    t = random_irregular_topology(16, 4, rng=2)
+    path = tmp_path / "topo.json"
+    save_topology(t, path)
+    assert load_topology(path) == t

@@ -1,0 +1,29 @@
+"""Tests for structural validation."""
+
+import pytest
+
+from repro.topology.generator import random_irregular_topology
+from repro.topology.graph import Topology
+from repro.topology.validation import TopologyError, validate_topology
+
+
+def test_valid_topology_passes():
+    validate_topology(Topology(4, [(0, 1), (1, 2), (2, 3)], ports=4))
+
+
+def test_disconnected_rejected():
+    with pytest.raises(TopologyError, match="not connected"):
+        validate_topology(Topology(4, [(0, 1), (2, 3)]))
+
+
+def test_disconnected_allowed_when_not_required():
+    validate_topology(Topology(4, [(0, 1), (2, 3)]), require_connected=False)
+
+
+def test_random_samples_pass(small_irregular, medium_irregular):
+    validate_topology(small_irregular)
+    validate_topology(medium_irregular)
+
+
+def test_large_sample_passes():
+    validate_topology(random_irregular_topology(128, 8, rng=3))

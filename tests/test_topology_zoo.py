@@ -1,0 +1,111 @@
+"""Tests for the structured topology zoo."""
+
+import pytest
+
+from repro.topology import zoo
+from repro.topology.validation import validate_topology
+
+
+class TestShapes:
+    def test_line(self):
+        t = zoo.line(5)
+        assert t.num_links == 4
+        assert t.degree(0) == 1 and t.degree(2) == 2
+
+    def test_ring(self):
+        t = zoo.ring(6)
+        assert t.num_links == 6
+        assert all(t.degree(v) == 2 for v in range(6))
+
+    def test_ring_minimum(self):
+        with pytest.raises(ValueError):
+            zoo.ring(2)
+
+    def test_star(self):
+        t = zoo.star(7)
+        assert t.degree(0) == 6
+        assert all(t.degree(v) == 1 for v in range(1, 7))
+
+    def test_mesh(self):
+        t = zoo.mesh(3, 4)
+        assert t.n == 12
+        assert t.num_links == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert t.degree(0) == 2  # corner
+        assert t.degree(5) == 4  # interior
+
+    def test_torus(self):
+        t = zoo.torus(3, 3)
+        assert all(t.degree(v) == 4 for v in range(9))
+
+    def test_torus_minimum(self):
+        with pytest.raises(ValueError):
+            zoo.torus(2, 3)
+
+    def test_hypercube(self):
+        t = zoo.hypercube(3)
+        assert t.n == 8
+        assert all(t.degree(v) == 3 for v in range(8))
+        assert t.num_links == 12
+
+    def test_complete(self):
+        t = zoo.complete(5)
+        assert t.num_links == 10
+        assert all(t.degree(v) == 4 for v in range(5))
+
+    def test_binary_tree(self):
+        t = zoo.binary_tree(3)
+        assert t.n == 7
+        assert t.degree(0) == 2
+        assert t.degree(6) == 1
+
+    @pytest.mark.parametrize(
+        "topo",
+        [
+            zoo.line(6),
+            zoo.ring(5),
+            zoo.star(6),
+            zoo.mesh(3, 3),
+            zoo.torus(3, 4),
+            zoo.hypercube(4),
+            zoo.complete(6),
+            zoo.binary_tree(4),
+        ],
+        ids=["line", "ring", "star", "mesh", "torus", "hcube", "complete", "btree"],
+    )
+    def test_all_shapes_valid(self, topo):
+        validate_topology(topo)
+
+
+class TestRoutingOnZoo:
+    """Tree-based routing must verify on regular shapes too."""
+
+    @pytest.mark.parametrize(
+        "topo",
+        [zoo.mesh(3, 3), zoo.torus(3, 3), zoo.hypercube(3), zoo.ring(8),
+         zoo.binary_tree(4)],
+        ids=["mesh", "torus", "hcube", "ring", "btree"],
+    )
+    def test_down_up_verifies(self, topo):
+        from repro.core.downup import build_down_up_routing
+
+        build_down_up_routing(topo)
+
+    def test_all_algorithms_identical_on_a_tree(self):
+        """On a pure tree there are no cross links and exactly one path
+        per pair — every algorithm must produce identical path lengths."""
+        from repro.core.downup import build_down_up_routing
+        from repro.routing.lturn import build_l_turn_routing
+        from repro.routing.updown import build_up_down_routing
+
+        topo = zoo.binary_tree(4)
+        rs = [
+            build_down_up_routing(topo),
+            build_l_turn_routing(topo),
+            build_up_down_routing(topo),
+        ]
+        n = topo.n
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    lengths = {r.path_length(s, d) for r in rs}
+                    assert len(lengths) == 1

@@ -1,0 +1,116 @@
+"""Tests for packet-event tracing."""
+
+import pytest
+
+from repro.core.downup import build_down_up_routing
+from repro.routing.updown import build_up_down_routing
+from repro.simulator import SimulationConfig, WormholeSimulator
+from repro.simulator.trace import PacketTrace, TraceRecorder
+from repro.topology import zoo
+from repro.topology.generator import random_irregular_topology
+
+
+class TestRecorder:
+    def test_unknown_event_rejected(self):
+        tr = TraceRecorder()
+        with pytest.raises(ValueError, match="unknown trace event"):
+            tr.record(0, "teleport", 1, 0, 1)
+
+    def test_bounded_retention(self):
+        tr = TraceRecorder(max_packets=2)
+        for pid in range(5):
+            tr.record(pid, "gen", pid, 0, 1)
+        assert len(tr) == 2
+        assert tr.get(0) is None and tr.get(4) is not None
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_packets=0)
+
+
+class TestPacketTrace:
+    def test_derived_quantities(self):
+        t = PacketTrace(pid=0, src=0, dst=3)
+        t.events = [
+            (0, "gen", None),
+            (4, "inject", 10),
+            (7, "hop", 12),
+            (13, "hop", 14),
+            (16, "consume", None),
+            (20, "done", None),
+        ]
+        assert t.waiting_time() == 4
+        assert t.network_time() == 16
+        assert t.path() == [10, 12, 14]
+        assert t.per_hop_delays() == [3, 6, 3]
+
+    def test_unfinished_packet(self):
+        t = PacketTrace(pid=0, src=0, dst=1)
+        t.events = [(0, "gen", None)]
+        assert t.network_time() is None
+        assert t.waiting_time() == 0
+
+
+class TestEngineIntegration:
+    def test_single_packet_full_trace(self):
+        topo = zoo.line(3)
+        routing = build_up_down_routing(topo)
+        cfg = SimulationConfig(
+            packet_length=4, injection_rate=0.0,
+            warmup_clocks=0, measure_clocks=60, seed=0,
+        )
+        sim = WormholeSimulator(routing, cfg)
+        sim.tracer = TraceRecorder()
+        from repro.simulator.packet import Worm
+
+        w = Worm(0, 0, 2, 4, 0)
+        sim.queues[0].append(w)
+        for _ in range(60):
+            sim.step()
+        trace = sim.tracer.get(0)
+        assert trace is not None
+        kinds = [e for _c, e, _ch in trace.events]
+        assert kinds == ["inject", "hop", "consume", "done"]
+        # channels: <0,1> then <1,2>
+        assert trace.path() == [topo.channel_id(0, 1), topo.channel_id(1, 2)]
+        # unloaded: each header hop 3 clocks apart
+        assert trace.per_hop_delays() == [3, 3]
+
+    def test_loaded_run_traces_and_summary(self):
+        topo = random_irregular_topology(16, 4, rng=2)
+        routing = build_down_up_routing(topo)
+        cfg = SimulationConfig(
+            packet_length=8, injection_rate=0.2,
+            warmup_clocks=0, measure_clocks=1_500, seed=3,
+        )
+        sim = WormholeSimulator(routing, cfg)
+        sim.tracer = TraceRecorder()
+        for _ in range(1500):
+            sim.step()
+        summary = sim.tracer.summary()
+        assert summary["packets"] > 0
+        assert summary["mean_network_time"] > 0
+        # every finished trace's path is connected src -> dst
+        for t in sim.tracer:
+            if t.network_time() is None:
+                continue
+            path = t.path()
+            assert topo.channel(path[0]).start == t.src
+            assert topo.channel(path[-1]).sink == t.dst
+            for a, b in zip(path, path[1:]):
+                assert topo.channel(a).sink == topo.channel(b).start
+
+    def test_tracing_does_not_change_results(self):
+        topo = random_irregular_topology(14, 4, rng=6)
+        routing = build_down_up_routing(topo)
+        cfg = SimulationConfig(
+            packet_length=8, injection_rate=0.15,
+            warmup_clocks=100, measure_clocks=800, seed=9,
+        )
+        from repro.simulator import simulate
+
+        plain = simulate(routing, cfg)
+        sim = WormholeSimulator(routing, cfg)
+        sim.tracer = TraceRecorder()
+        traced = sim.run()
+        assert traced.latencies == plain.latencies

@@ -1,0 +1,116 @@
+"""Tests for the TurnModel state container."""
+
+import numpy as np
+import pytest
+
+from repro.routing.base import TurnModel
+from repro.topology.graph import Topology
+
+
+@pytest.fixture
+def star():
+    return Topology(4, [(0, 1), (0, 2), (0, 3)])
+
+
+def make_tm(topo, k=2, classes=None):
+    base = np.ones((k, k), dtype=bool)
+    cls = classes if classes is not None else [0] * topo.num_channels
+    return TurnModel(topo, cls, base)
+
+
+class TestConstruction:
+    def test_wrong_class_count_rejected(self, star):
+        with pytest.raises(ValueError, match="entries"):
+            TurnModel(star, [0, 1], np.ones((2, 2), dtype=bool))
+
+    def test_non_square_matrix_rejected(self, star):
+        with pytest.raises(ValueError, match="square"):
+            TurnModel(star, [0] * star.num_channels, np.ones((2, 3), dtype=bool))
+
+    def test_class_out_of_range_rejected(self, star):
+        with pytest.raises(ValueError, match="classes"):
+            TurnModel(star, [5] * star.num_channels, np.ones((2, 2), dtype=bool))
+
+    def test_default_class_names(self, star):
+        tm = make_tm(star, k=3)
+        assert tm.class_names == ("class0", "class1", "class2")
+
+
+class TestTurnQueries:
+    def test_u_turn_always_denied(self, star):
+        tm = make_tm(star)
+        # channel 0 = <0,1>, its reverse 1 = <1,0>: U-turn at 1? channel 0
+        # sinks at 1, only output of 1 is channel 1 (back to 0)
+        assert not tm.is_turn_allowed(1, 0, 1)
+
+    def test_allowed_by_base_matrix(self, star):
+        tm = make_tm(star)
+        # <1,0> (cid 1) then <0,2> (cid 2)
+        assert tm.is_turn_allowed(0, 1, 2)
+
+    def test_forbid_per_switch(self, star):
+        tm = make_tm(star)
+        tm.set_turn(0, 0, 0, False)
+        assert not tm.is_turn_allowed(0, 1, 2)
+        assert tm.overridden_switches() == [0]
+
+    def test_override_is_per_switch_only(self):
+        topo = Topology(4, [(0, 1), (1, 2), (2, 3)])
+        tm = make_tm(topo)
+        tm.set_turn(1, 0, 0, False)
+        assert not tm.is_turn_allowed(1, topo.channel_id(0, 1), topo.channel_id(1, 2))
+        assert tm.is_turn_allowed(2, topo.channel_id(1, 2), topo.channel_id(2, 3))
+
+    def test_released_turns_listing(self, star):
+        base = np.zeros((1, 1), dtype=bool)
+        tm = TurnModel(star, [0] * star.num_channels, base)
+        tm.set_turn(0, 0, 0, True)
+        assert tm.released_turns() == [(0, 0, 0)]
+
+
+class TestChannelPairExceptions:
+    def test_exception_overrides_matrix(self, star):
+        base = np.zeros((1, 1), dtype=bool)
+        tm = TurnModel(star, [0] * star.num_channels, base)
+        cin, cout = star.channel_id(1, 0), star.channel_id(0, 2)
+        assert not tm.is_turn_allowed(0, cin, cout)
+        tm.allow_channel_pair(cin, cout)
+        assert tm.is_turn_allowed(0, cin, cout)
+        # other pairs at the same switch remain prohibited
+        assert not tm.is_turn_allowed(0, cin, star.channel_id(0, 3))
+
+    def test_exception_requires_meeting_channels(self, star):
+        tm = make_tm(star)
+        with pytest.raises(ValueError, match="meet"):
+            tm.allow_channel_pair(star.channel_id(0, 1), star.channel_id(0, 2))
+
+    def test_u_turn_exception_rejected(self, star):
+        tm = make_tm(star)
+        with pytest.raises(ValueError, match="U-turn"):
+            tm.allow_channel_pair(star.channel_id(0, 1), star.channel_id(1, 0))
+
+    def test_released_channel_pairs_sorted(self, star):
+        base = np.zeros((1, 1), dtype=bool)
+        tm = TurnModel(star, [0] * star.num_channels, base)
+        a = (star.channel_id(1, 0), star.channel_id(0, 3))
+        b = (star.channel_id(1, 0), star.channel_id(0, 2))
+        tm.allow_channel_pair(*a)
+        tm.allow_channel_pair(*b)
+        assert tm.released_channel_pairs() == sorted([a, b])
+
+
+class TestCopy:
+    def test_copy_is_independent(self, star):
+        tm = make_tm(star)
+        clone = tm.copy()
+        tm.set_turn(0, 0, 0, False)
+        cin, cout = star.channel_id(1, 0), star.channel_id(0, 2)
+        assert clone.is_turn_allowed(0, cin, cout)
+        assert not tm.is_turn_allowed(0, cin, cout)
+
+    def test_copy_preserves_exceptions(self, star):
+        base = np.zeros((1, 1), dtype=bool)
+        tm = TurnModel(star, [0] * star.num_channels, base)
+        cin, cout = star.channel_id(1, 0), star.channel_id(0, 2)
+        tm.allow_channel_pair(cin, cout)
+        assert tm.copy().is_turn_allowed(0, cin, cout)

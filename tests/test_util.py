@@ -1,0 +1,101 @@
+"""Tests for shared utilities: RNG plumbing, tables, ASCII plots."""
+
+import numpy as np
+import pytest
+
+from repro.util.ascii_plot import ascii_xy_plot
+from repro.util.rng import as_generator, derive_seed, spawn_child
+from repro.util.tables import format_csv, format_table
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(123).integers(0, 10**9)
+        b = as_generator(123).integers(0, 10**9)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("nope")
+
+    def test_spawn_child_deterministic_from_int(self):
+        a = spawn_child(7, 1).integers(0, 10**9)
+        b = spawn_child(7, 1).integers(0, 10**9)
+        assert a == b
+
+    def test_spawn_children_independent(self):
+        a = spawn_child(7, 1).integers(0, 10**9)
+        b = spawn_child(7, 2).integers(0, 10**9)
+        assert a != b
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+        assert 0 <= derive_seed(None, 9) < 2**63
+
+    def test_derive_seed_spreads(self):
+        seeds = {derive_seed(0, i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+
+class TestTables:
+    def test_basic_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()[-2:]
+        assert rows[0].endswith("  1")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_csv(self):
+        out = format_csv(["a", "b"], [[1, "x"], [2.5, "y"]])
+        assert out.splitlines() == ["a,b", "1,x", "2.5,y"]
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert "(no data)" in ascii_xy_plot({}, title="empty")
+
+    def test_points_plotted(self):
+        out = ascii_xy_plot({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        grid = "\n".join(l for l in out.splitlines() if l.startswith("|"))
+        assert grid.count("*") == 2
+        assert "* = s" in out
+
+    def test_two_series_glyphs(self):
+        out = ascii_xy_plot(
+            {"a": [(0, 0)], "b": [(1, 1)]}, width=10, height=4
+        )
+        assert "* = a" in out and "o = b" in out
+
+    def test_degenerate_single_point(self):
+        out = ascii_xy_plot({"a": [(0.5, 2.0)]})
+        assert "*" in out
+
+    def test_axis_labels(self):
+        out = ascii_xy_plot({"a": [(0, 0), (2, 4)]}, x_label="load", y_label="lat")
+        assert "load" in out and "lat" in out

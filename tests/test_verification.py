@@ -1,0 +1,102 @@
+"""Direct tests of the Theorem-1 verification module.
+
+The builders exercise the happy path constantly; these tests check the
+verifier actually *fails* on broken inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing.base import RoutingFunction, TurnModel
+from repro.routing.table import build_routing_function
+from repro.routing.verification import (
+    VerificationError,
+    assert_connected,
+    assert_deadlock_free,
+    assert_progress,
+    verify_routing,
+)
+from repro.topology import zoo
+from repro.topology.graph import Topology
+
+
+def unrestricted_tm(topo):
+    return TurnModel(topo, [0] * topo.num_channels, np.ones((1, 1), dtype=bool))
+
+
+class TestDeadlockFree:
+    def test_cyclic_model_rejected(self, ring6):
+        with pytest.raises(VerificationError, match="cycle"):
+            assert_deadlock_free(unrestricted_tm(ring6), "test")
+
+    def test_error_names_channels_and_classes(self, ring6):
+        tm = unrestricted_tm(ring6)
+        with pytest.raises(VerificationError, match="class0"):
+            assert_deadlock_free(tm, "test")
+
+    def test_tree_model_accepted(self):
+        assert_deadlock_free(unrestricted_tm(zoo.binary_tree(3)), "test")
+
+
+class TestConnected:
+    def test_unroutable_pairs_reported(self, line3):
+        tm = unrestricted_tm(line3)
+        tm.set_turn(1, 0, 0, False)  # forbid all transit at switch 1
+        routing = build_routing_function(tm, "broken")
+        with pytest.raises(VerificationError, match="unroutable"):
+            assert_connected(routing)
+
+    def test_connected_accepted(self, line3):
+        assert_connected(build_routing_function(unrestricted_tm(line3), "ok"))
+
+
+class TestProgress:
+    def test_detects_nonminimal_candidate(self, line3):
+        ok = build_routing_function(unrestricted_tm(line3), "ok")
+        # corrupt: make a next-hop not decrease the distance
+        c01, c12 = line3.channel_id(0, 1), line3.channel_id(1, 2)
+        bad_next = list(list(row) for row in ok.next_hops)
+        bad_next[2] = list(bad_next[2])
+        bad_next[2][c01] = (c12, c12)  # duplicate is fine; now corrupt dist
+        bad_dist = ok.dist.copy()
+        bad_dist.setflags(write=True)
+        bad_dist[2][c12] = 5  # no longer dist[c01] - 1
+        broken = RoutingFunction(
+            topology=ok.topology,
+            name="broken",
+            turn_model=ok.turn_model,
+            dist=bad_dist,
+            next_hops=tuple(tuple(r) for r in bad_next),
+            first_hops=ok.first_hops,
+        )
+        with pytest.raises(VerificationError, match="decrease"):
+            assert_progress(broken)
+
+    def test_detects_missing_candidates(self, line3):
+        ok = build_routing_function(unrestricted_tm(line3), "ok")
+        c01 = line3.channel_id(0, 1)
+        bad_next = [list(row) for row in ok.next_hops]
+        bad_next[2][c01] = ()  # strand packets arriving at 1 heading to 2
+        broken = RoutingFunction(
+            topology=ok.topology,
+            name="broken",
+            turn_model=ok.turn_model,
+            dist=ok.dist,
+            next_hops=tuple(tuple(r) for r in bad_next),
+            first_hops=ok.first_hops,
+        )
+        with pytest.raises(VerificationError, match="no admissible next hop"):
+            assert_progress(broken)
+
+
+class TestVerifyRouting:
+    def test_returns_routing_on_success(self, line3):
+        r = build_routing_function(unrestricted_tm(line3), "ok")
+        assert verify_routing(r) is r
+
+    def test_path_length_raises_on_unreachable(self, line3):
+        tm = unrestricted_tm(line3)
+        tm.set_turn(1, 0, 0, False)
+        r = build_routing_function(tm, "broken")
+        with pytest.raises(ValueError, match="no admissible path"):
+            r.path_length(0, 2)

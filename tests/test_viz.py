@@ -1,0 +1,45 @@
+"""Tests for the terminal visualisations."""
+
+from repro.core.communication_graph import CommunicationGraph
+from repro.core.coordinated_tree import build_coordinated_tree
+from repro.topology import zoo
+from repro.viz.tree import render_coordinated_tree, render_direction_histogram
+
+
+def test_tree_outline_follows_preorder():
+    t = zoo.binary_tree(3)
+    tree = build_coordinated_tree(t)
+    out = render_coordinated_tree(tree)
+    lines = [l for l in out.splitlines() if l.strip().startswith(("+", "*"))]
+    # outline order == preorder == X order
+    xs = [int(l.split("X=")[1].split(",")[0]) for l in lines]
+    assert xs == sorted(xs)
+    assert "cross links: none" in out
+
+
+def test_tree_marks_leaves():
+    tree = build_coordinated_tree(zoo.star(4))
+    out = render_coordinated_tree(tree)
+    assert out.count("* s") == 3  # three leaves
+    assert out.count("+ s") == 1  # the root
+
+
+def test_truncation():
+    tree = build_coordinated_tree(zoo.line(30))
+    out = render_coordinated_tree(tree, max_nodes=5)
+    assert "more switches" in out
+
+
+def test_cross_links_listed(medium_irregular):
+    tree = build_coordinated_tree(medium_irregular)
+    out = render_coordinated_tree(tree)
+    assert "cross links: s" in out
+
+
+def test_direction_histogram(medium_irregular):
+    cg = CommunicationGraph.from_tree(build_coordinated_tree(medium_irregular))
+    out = render_direction_histogram(cg)
+    assert "LU_TREE" in out and "#" in out
+    # every direction class appears
+    for name in ("RD_TREE", "L_CROSS", "R_CROSS"):
+        assert name in out
