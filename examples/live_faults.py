@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Extension: links die *mid-run* and the network reconfigures online.
+
+The static study (``link_failures.py``) degrades the topology before
+routing is built.  Here the wormhole simulator is already carrying
+traffic when links fail: worms crossing a dying link are dropped (or
+truncated, under the ``drain`` policy), the fault runtime waits out a
+drain window, then rebuilds the algorithm's routing on the surviving
+graph — re-running the Theorem-1 verification — and swaps the tables
+atomically.  Dropped packets retry from their source with capped
+exponential backoff, so the run reports how much traffic the faults
+actually cost.
+
+The same seeded fault schedule hits DOWN/UP, L-turn and up*/down*, the
+paper's paired-sample discipline extended to the fault axis.
+
+Run:  python examples/live_faults.py [fault_seed]
+"""
+
+import sys
+
+from repro import random_irregular_topology
+from repro.experiments.live_resilience import (
+    render_live_fault_table,
+    run_live_fault_campaign,
+)
+from repro.faults import FaultSchedule, RetryPolicy
+from repro.simulator import SimulationConfig
+
+
+def main(fault_seed: int = 42) -> None:
+    topo = random_irregular_topology(32, 4, rng=21)
+    config = SimulationConfig(
+        packet_length=32,
+        injection_rate=0.05,
+        warmup_clocks=1_000,
+        measure_clocks=8_000,
+        seed=5,
+        max_stall_clocks=5_000,
+    )
+    # two permanent link failures plus one transient flap, all inside
+    # the first half of the measurement window so recovery is observable
+    schedule = FaultSchedule.random(
+        topo,
+        permanent_links=2,
+        link_flaps=1,
+        window=(1_500, 5_000),
+        flap_duration=800,
+        rng=fault_seed,
+    )
+    print(f"== live faults on {topo} (schedule seed {fault_seed})")
+    print(schedule.describe())
+    print()
+    results = run_live_fault_campaign(
+        topo,
+        schedule,
+        config,
+        algorithms=("down-up", "l-turn", "up-down"),
+        drain_clocks=64,
+        retry=RetryPolicy(max_retries=8, backoff_base=64),
+        seed=11,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    print()
+    print(render_live_fault_table(results))
+    print(
+        "\nEvery swapped routing table was machine-verified deadlock-free\n"
+        "and connected before installation; 'delivered' counts retried\n"
+        "packets that ultimately arrived.  A delivered fraction of 1.0\n"
+        "means the faults cost latency, not data."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 42)

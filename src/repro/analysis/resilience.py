@@ -25,36 +25,19 @@ from repro.core.coordinated_tree import build_coordinated_tree
 from repro.routing.base import RoutingFunction
 from repro.routing.diagnostics import adaptivity
 from repro.topology.graph import Topology
+from repro.topology.validation import find_bridges
 from repro.util.rng import RngLike, as_generator
 
 
 def _bridges(topology: Topology) -> set:
     """All bridge links (links whose removal disconnects the network).
 
-    Definition-direct: drop each link and BFS-check connectivity.
-    ``O(|E| * (|V| + |E|))`` — a few hundred thousand operations at the
-    paper's scale, negligible next to a single simulation run, and
-    immune to the bookkeeping subtleties of iterative Tarjan.
+    Single-pass Tarjan low-link finder, ``O(|V| + |E|)`` — shared with
+    the live fault schedule's connectivity guard
+    (:class:`repro.faults.FaultSchedule`), which probes candidate links
+    once per fault event and needs the pass to be cheap.
     """
-    bridges: set = set()
-    adj = {v: set(topology.neighbors(v)) for v in range(topology.n)}
-    for u, v in topology.links:
-        adj[u].discard(v)
-        adj[v].discard(u)
-        # BFS from u; the link is a bridge iff v becomes unreachable
-        seen = {u}
-        stack = [u]
-        while stack and v not in seen:
-            x = stack.pop()
-            for w in adj[x]:
-                if w not in seen:
-                    seen.add(w)
-                    stack.append(w)
-        if v not in seen:
-            bridges.add((u, v))
-        adj[u].add(v)
-        adj[v].add(u)
-    return bridges
+    return find_bridges(topology)
 
 
 def degrade_topology(

@@ -21,6 +21,12 @@ from repro.experiments.harness import (
     make_topology,
 )
 from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.live_resilience import (
+    LIVE_FAULT_ALGORITHMS,
+    LiveFaultResult,
+    render_live_fault_table,
+    run_live_fault_campaign,
+)
 from repro.experiments.tables import TablesResult, run_static_tables, run_tables
 from repro.experiments.parallel import WorkUnit, figure8_units, run_parallel, tables_units
 from repro.experiments.statistics import (
@@ -42,6 +48,10 @@ __all__ = [
     "build_routings",
     "Figure8Result",
     "run_figure8",
+    "LIVE_FAULT_ALGORITHMS",
+    "LiveFaultResult",
+    "run_live_fault_campaign",
+    "render_live_fault_table",
     "TablesResult",
     "run_tables",
     "run_static_tables",

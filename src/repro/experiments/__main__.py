@@ -114,6 +114,29 @@ def _parser() -> argparse.ArgumentParser:
     cp.add_argument("--no-static", action="store_true",
                     help="skip the static-analysis cross-check stage")
 
+    lf = sub.add_parser(
+        "live-faults",
+        help="live fault injection + online reconfiguration comparison",
+    )
+    common(lf)
+    lf.add_argument("--ports", type=int, default=4)
+    lf.add_argument("--switches", type=int, default=None,
+                    help="override the preset's switch count")
+    lf.add_argument("--link-failures", type=int, default=2,
+                    help="permanent link failures to inject")
+    lf.add_argument("--link-flaps", type=int, default=0,
+                    help="transient link failures (down then up)")
+    lf.add_argument("--switch-failures", type=int, default=0,
+                    help="switch failures to inject")
+    lf.add_argument("--fault-seed", type=int, default=42,
+                    help="seed of the fault schedule")
+    lf.add_argument("--drain-clocks", type=int, default=64,
+                    help="drain window before each table swap")
+    lf.add_argument("--policy", default="drop", choices=("drop", "drain"),
+                    help="what happens to worms crossing a dying link")
+    lf.add_argument("--rate", type=float, default=None,
+                    help="offered load (default: preset's lowest rate)")
+
     sub.add_parser("erratum", help="demonstrate the Section 4.3 PT erratum")
     sub.add_parser("info", help="list presets and algorithms")
     return p
@@ -259,6 +282,53 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_live_faults(args) -> int:
+    from repro.experiments.harness import make_topology
+    from repro.experiments.live_resilience import (
+        render_live_fault_table,
+        run_live_fault_campaign,
+    )
+    from repro.faults import FaultSchedule
+
+    preset = get_preset(args.preset)
+    if args.switches:
+        preset = preset.scaled(n_switches=args.switches)
+    topology = make_topology(preset, args.ports, sample=0)
+    cfg = preset.sim_config(seed=preset.seed)
+    rate = args.rate if args.rate is not None else min(preset.rates_for(args.ports))
+    cfg = cfg.with_rate(rate)
+    # faults land in the first half of the measurement window so the
+    # run can observe recovery
+    window = (
+        cfg.warmup_clocks,
+        cfg.warmup_clocks + cfg.measure_clocks // 2,
+    )
+    schedule = FaultSchedule.random(
+        topology,
+        permanent_links=args.link_failures,
+        link_flaps=args.link_flaps,
+        switch_failures=args.switch_failures,
+        window=window,
+        rng=args.fault_seed,
+    )
+    print(f"fault schedule (seed {args.fault_seed}):")
+    print(schedule.describe())
+    print()
+    results = run_live_fault_campaign(
+        topology,
+        schedule,
+        cfg,
+        algorithms=args.algorithms,
+        drain_clocks=args.drain_clocks,
+        policy=args.policy,
+        seed=preset.seed,
+        progress=_progress(args.quiet),
+    )
+    print()
+    print(render_live_fault_table(results))
+    return 0
+
+
 def _cmd_erratum() -> int:
     from repro.core.communication_graph import CommunicationGraph
     from repro.core.coordinated_tree import build_coordinated_tree
@@ -319,6 +389,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "live-faults":
+        return _cmd_live_faults(args)
     if args.command == "erratum":
         return _cmd_erratum()
     if args.command == "info":

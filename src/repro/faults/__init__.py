@@ -1,0 +1,56 @@
+"""Live fault injection and online DOWN/UP reconfiguration.
+
+The paper's resilience story (Section 6 and the static analysis in
+:mod:`repro.analysis.resilience`) covers *pre-run* degradation: remove
+links, rebuild routing, measure.  This package covers the live case —
+links and switches failing *mid-run* under traffic:
+
+* :class:`FaultSchedule` — deterministic, seed-driven fault plans
+  (permanent link failures, transient flaps, switch failures) with a
+  connectivity guard that refuses partitioning schedules;
+* :class:`ReconfigurationController` — rebuilds DOWN/UP (or any other
+  algorithm here) on the surviving graph, re-runs Theorem-1
+  verification, and remaps the tables into the full topology's channel
+  id space for an atomic swap;
+* :class:`FaultRuntime` — the per-run driver an engine steps each
+  clock: fires faults, manages the drain window and swap, and runs the
+  source-side :class:`RetryPolicy` (capped exponential backoff).
+
+Usage::
+
+    schedule = FaultSchedule.random(topo, permanent_links=2, rng=42)
+    controller = ReconfigurationController(
+        lambda sub: build_down_up_routing(sub, rng=7), drain_clocks=64
+    )
+    sim = WormholeSimulator(routing, config, traffic, rng=3)
+    sim.attach_faults(FaultRuntime(schedule, controller, RetryPolicy()))
+    stats = sim.run()   # stats.delivered_fraction, stats.reconfigurations
+"""
+
+from repro.faults.controller import (
+    ReconfigurationController,
+    remap_routing,
+    surviving_topology,
+)
+from repro.faults.runtime import (
+    FaultRuntime,
+    ReconfigurationRecord,
+    RetryPolicy,
+)
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    PartitionError,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "PartitionError",
+    "ReconfigurationController",
+    "surviving_topology",
+    "remap_routing",
+    "FaultRuntime",
+    "ReconfigurationRecord",
+    "RetryPolicy",
+]

@@ -1,0 +1,170 @@
+"""Online reconfiguration: rebuild routing on the survivor graph.
+
+The routing builders (DOWN/UP, L-turn, up*/down*) require a *connected*
+:class:`~repro.topology.graph.Topology`, but a degraded network is the
+original one with some links and switches missing — its channel ids must
+stay those of the full topology or every per-channel array in a running
+engine would be invalidated.  The controller therefore:
+
+1. extracts the *surviving sub-topology* with switches renumbered
+   densely (:func:`surviving_topology`),
+2. runs the configured routing builder on it and re-verifies the result
+   against Theorem 1 (:func:`repro.routing.verification.verify_routing`
+   — acyclic channel dependency graph, all-pairs connectivity,
+   progress), and
+3. remaps the verified tables back into the full topology's channel and
+   switch id space (:func:`remap_routing`), with dead channels carrying
+   empty candidate sets and ``UNREACHABLE`` distances.
+
+The engine can then swap the remapped function in atomically
+(``_fault_swap_routing``) without touching any in-flight state arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.routing.base import RoutingFunction
+from repro.routing.verification import verify_routing
+from repro.topology.graph import Topology
+
+#: A routing builder for the controller: connected topology in,
+#: (builder-)verified RoutingFunction on that same topology out.
+RoutingBuilder = Callable[[Topology], RoutingFunction]
+
+
+def surviving_topology(
+    topology: Topology,
+    dead_links: Iterable[Tuple[int, int]],
+    dead_switches: Iterable[int],
+) -> Tuple[Topology, List[int]]:
+    """The degraded network as a dense, renumbered :class:`Topology`.
+
+    Returns ``(sub, live)`` where ``live[new_id] == old_id`` for every
+    surviving switch.  Raises ``ValueError`` when nothing survives or
+    the survivors are disconnected (the fault schedule's connectivity
+    guard should have refused such a state upstream).
+    """
+    dead_l = {tuple(sorted(l)) for l in dead_links}
+    dead_s = set(dead_switches)
+    live = [v for v in range(topology.n) if v not in dead_s]
+    if not live:
+        raise ValueError("no switches survive the fault set")
+    new_id = {old: new for new, old in enumerate(live)}
+    links = [
+        (new_id[u], new_id[v])
+        for u, v in topology.links
+        if (u, v) not in dead_l and u in new_id and v in new_id
+    ]
+    sub = Topology(len(live), links)
+    if not sub.is_connected():
+        raise ValueError("surviving network is disconnected")
+    return sub, live
+
+
+def remap_routing(
+    routing: RoutingFunction,
+    full_topology: Topology,
+    live: List[int],
+) -> RoutingFunction:
+    """Lift *routing* (built on a renumbered survivor) to full-id space.
+
+    Every sub-topology channel ``<a, b>`` maps to the full topology's
+    channel ``<live[a], live[b]>`` — the underlying physical link is the
+    same, only the dense ids differ.  Dead channels and dead/unreachable
+    endpoints get ``UNREACHABLE`` distances and empty candidate tuples,
+    so a packet can never be directed onto a failed resource.  The
+    returned function reuses the survivor's (verified) turn model; the
+    Theorem-1 guarantees transfer because the remapping is a channel
+    renaming, not a change of paths.
+    """
+    sub = routing.topology
+    if len(live) != sub.n:
+        raise ValueError("live map does not match the survivor topology")
+    # sub cid -> full cid
+    cmap = [
+        full_topology.channel_id(live[ch.start], live[ch.sink])
+        for ch in sub.channels
+    ]
+    n, m = full_topology.n, full_topology.num_channels
+    unreachable = RoutingFunction.UNREACHABLE
+    dist = np.full((n, m), unreachable, dtype=np.int32)
+    empty: Tuple[int, ...] = ()
+    next_hops: List[Tuple[Tuple[int, ...], ...]] = []
+    first_hops: List[Tuple[Tuple[int, ...], ...]] = []
+    for d_full in range(n):
+        nh_row: List[Tuple[int, ...]] = [empty] * m
+        fh_row: List[Tuple[int, ...]] = [empty] * n
+        next_hops.append(tuple(nh_row))
+        first_hops.append(tuple(fh_row))
+    next_hops_mut = [list(row) for row in next_hops]
+    first_hops_mut = [list(row) for row in first_hops]
+    for d_sub, d_full in enumerate(live):
+        sub_dist = routing.dist[d_sub]
+        sub_nh = routing.next_hops[d_sub]
+        for c_sub, c_full in enumerate(cmap):
+            dist[d_full, c_full] = sub_dist[c_sub]
+            nh = sub_nh[c_sub]
+            if nh:
+                next_hops_mut[d_full][c_full] = tuple(cmap[b] for b in nh)
+        sub_fh = routing.first_hops[d_sub]
+        for s_sub, s_full in enumerate(live):
+            fh = sub_fh[s_sub]
+            if fh:
+                first_hops_mut[d_full][s_full] = tuple(cmap[b] for b in fh)
+    return RoutingFunction(
+        topology=full_topology,
+        name=routing.name,
+        turn_model=routing.turn_model,
+        dist=dist,
+        next_hops=tuple(tuple(r) for r in next_hops_mut),
+        first_hops=tuple(tuple(r) for r in first_hops_mut),
+        meta={**routing.meta, "remapped": True, "live_switches": tuple(live)},
+    )
+
+
+class ReconfigurationController:
+    """Recomputes and re-verifies routing for a degraded network.
+
+    Parameters
+    ----------
+    builder:
+        ``builder(sub_topology) -> RoutingFunction`` — any of the
+        repository's algorithms wrapped with its tree/rng arguments
+        (e.g. ``lambda t: build_down_up_routing(t, rng=7)``).  The
+        builder runs on the *renumbered survivor*, so tree construction
+        naturally adapts to the degraded graph, exactly as a real
+        reconfiguration would recompute its spanning tree.
+    drain_clocks:
+        Clocks the engine waits between the fault and the table swap,
+        letting in-flight worms drain before stranded ones are ejected.
+    """
+
+    def __init__(self, builder: RoutingBuilder, drain_clocks: int = 64) -> None:
+        if drain_clocks < 0:
+            raise ValueError("drain_clocks must be >= 0")
+        self.builder = builder
+        self.drain_clocks = drain_clocks
+
+    def rebuild(
+        self,
+        topology: Topology,
+        dead_links: Iterable[Tuple[int, int]],
+        dead_switches: Iterable[int],
+        tag: str = "",
+    ) -> RoutingFunction:
+        """A verified routing for the degraded *topology*, full-id space.
+
+        Every rebuilt table passes through Theorem-1 verification
+        (:func:`verify_routing`) *before* remapping — an unverified
+        table never reaches a running engine.
+        """
+        sub, live = surviving_topology(topology, dead_links, dead_switches)
+        routing = verify_routing(self.builder(sub))
+        remapped = remap_routing(routing, topology, live)
+        remapped.meta["verified"] = True
+        if tag:
+            remapped.meta["reconfiguration"] = tag
+        return remapped

@@ -25,6 +25,13 @@ from repro.metrics.utilization import (
     traffic_load,
     utilization_report,
 )
+from repro.metrics.degradation import (
+    degradation_report,
+    delivered_fraction,
+    reconfiguration_latencies,
+    recovery_latency,
+    saturation_shift,
+)
 from repro.metrics.direction_flow import direction_flow_shares, tree_link_share
 from repro.metrics.profile import (
     level_share_profile,
@@ -55,4 +62,9 @@ __all__ = [
     "sweep_injection_rates",
     "measure_at_saturation",
     "saturation_throughput",
+    "delivered_fraction",
+    "reconfiguration_latencies",
+    "recovery_latency",
+    "saturation_shift",
+    "degradation_report",
 ]

@@ -1,0 +1,111 @@
+"""Degradation metrics for live-fault runs.
+
+Three views of how gracefully a routing algorithm absorbs mid-run
+faults, all computed from :class:`~repro.simulator.stats.SimulationStats`
+produced by a fault-injected run:
+
+* **delivered fraction** — of the packets the faults forced to a
+  terminal outcome, how many ultimately arrived (retries included);
+* **reconfiguration latency** — clocks between a fault firing and the
+  reconfigured, re-verified tables being swapped in (the drain window
+  plus any coalesced follow-on faults);
+* **recovery latency** — clocks from the first fault until the
+  throughput timeline returns to (a tolerance band around) its
+  pre-fault level;
+* **saturation shift** — the relative loss of maximal accepted traffic
+  between a fault-free sweep and a degraded one (the price of the
+  post-fault topology, not of the transient).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.simulator.stats import SimulationStats
+
+
+def delivered_fraction(stats: SimulationStats) -> float:
+    """Fraction of fault-resolved packets that were delivered.
+
+    Convenience re-export of
+    :attr:`SimulationStats.delivered_fraction`; 1.0 for fault-free
+    runs.
+    """
+    return stats.delivered_fraction
+
+
+def reconfiguration_latencies(stats: SimulationStats) -> list:
+    """Trigger-to-swap clocks for every online reconfiguration."""
+    return [
+        r.swap_clock - r.trigger_clock for r in stats.reconfigurations
+    ]
+
+
+def recovery_latency(
+    stats: SimulationStats,
+    fault_clock: int,
+    warmup_clocks: int = 0,
+    tolerance: float = 0.2,
+) -> Optional[float]:
+    """Clocks from *fault_clock* until throughput recovers, or ``None``.
+
+    Uses the run's throughput timeline (enable it by setting the stats
+    collector's ``timeline_interval``).  The pre-fault level is the
+    mean windowed accepted traffic strictly before the fault; recovery
+    is the first post-fault window whose throughput is within
+    *tolerance* (relative) of that level.  *fault_clock* and the
+    timeline are both in *window* clocks (i.e. measured from the end of
+    the warmup) — pass ``fault_clock = absolute_clock - warmup_clocks``
+    for a fault scheduled on the absolute clock axis.
+
+    Returns ``None`` when there is no usable pre-fault baseline or the
+    run never recovers inside the window.
+    """
+    fault_window_clock = fault_clock - warmup_clocks
+    series = stats.throughput_series()
+    before = [v for t, v in series if t <= fault_window_clock]
+    if not before:
+        return None
+    baseline = sum(before) / len(before)
+    if baseline <= 0:
+        return None
+    floor = (1.0 - tolerance) * baseline
+    for t, v in series:
+        if t > fault_window_clock and v >= floor:
+            return float(t - fault_window_clock)
+    return None
+
+
+def saturation_shift(
+    baseline_points: Sequence, degraded_points: Sequence
+) -> float:
+    """Relative maximal-throughput loss of a degraded sweep.
+
+    Both arguments are :class:`~repro.metrics.saturation.RatePoint`
+    sequences (fault-free vs post-fault topology).  Returns
+    ``1 - degraded_max / baseline_max`` — 0.0 means the faults cost no
+    capacity, 0.25 means a quarter of the saturation throughput is
+    gone.
+    """
+    if not baseline_points or not degraded_points:
+        raise ValueError("both sweeps must be non-empty")
+    base = max(p.accepted for p in baseline_points)
+    if base <= 0:
+        raise ValueError("baseline sweep never accepted traffic")
+    degraded = max(p.accepted for p in degraded_points)
+    return 1.0 - degraded / base
+
+
+def degradation_report(stats: SimulationStats) -> dict:
+    """Compact dict of the per-run degradation numbers."""
+    lat = reconfiguration_latencies(stats)
+    return {
+        "delivered_fraction": stats.delivered_fraction,
+        "fault_drops": stats.fault_drops,
+        "retries": stats.retries,
+        "lost_packets": stats.lost_packets,
+        "reconfigurations": len(stats.reconfigurations),
+        "mean_reconfiguration_latency": (
+            sum(lat) / len(lat) if lat else float("nan")
+        ),
+    }

@@ -36,7 +36,12 @@ itself tested by routing flows around a deliberately open turn cycle).
 """
 
 from repro.simulator.config import SimulationConfig
-from repro.simulator.engine import DeadlockDetected, WormholeSimulator, simulate
+from repro.simulator.engine import (
+    DeadlockDetected,
+    LivelockSuspected,
+    WormholeSimulator,
+    simulate,
+)
 from repro.simulator.stats import SimulationStats
 from repro.simulator.trace import PacketTrace, TraceRecorder
 from repro.simulator.vc_engine import (
@@ -57,6 +62,7 @@ __all__ = [
     "SimulationConfig",
     "WormholeSimulator",
     "DeadlockDetected",
+    "LivelockSuspected",
     "simulate",
     "SimulationStats",
     "TraceRecorder",

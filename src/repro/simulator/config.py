@@ -44,6 +44,15 @@ class SimulationConfig:
     deadlock_interval:
         Watchdog: raise if no flit moves for this many consecutive
         clocks while worms hold channels.  ``0`` disables the check.
+    max_stall_clocks:
+        Livelock/stall watchdog: raise
+        :class:`~repro.simulator.engine.LivelockSuspected` (with a dump
+        of the stuck worms) when *no* flit anywhere has moved for this
+        many consecutive clocks while traffic is pending.  Catches
+        global stalls the exact wait-for deadlock analysis deliberately
+        does not flag — e.g. worms waiting on a failed link during a
+        fault's drain window that never get reconfigured.  ``None``
+        (default) disables the check.
     max_queue:
         Optional cap on per-node injection queues (``None`` =
         unbounded); when capped, generation at a full queue is dropped
@@ -71,6 +80,7 @@ class SimulationConfig:
     link_delay: int = 1
     seed: Optional[int] = 0
     deadlock_interval: int = 2_000
+    max_stall_clocks: Optional[int] = None
     max_queue: Optional[int] = None
     selection_policy: str = "random"
     length_mix: Optional[tuple] = None
@@ -91,6 +101,8 @@ class SimulationConfig:
             raise ValueError("delays must be >= 0")
         if self.warmup_clocks < 0 or self.measure_clocks <= 0:
             raise ValueError("need a positive measurement window")
+        if self.max_stall_clocks is not None and self.max_stall_clocks <= 0:
+            raise ValueError("max_stall_clocks must be positive (or None)")
         if self.selection_policy not in ("random", "first", "least-congested"):
             raise ValueError(
                 f"unknown selection policy {self.selection_policy!r}"

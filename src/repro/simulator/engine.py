@@ -48,6 +48,17 @@ class DeadlockDetected(RuntimeError):
     """Wait-for analysis found worms that can never progress again."""
 
 
+class LivelockSuspected(RuntimeError):
+    """No flit anywhere moved for ``max_stall_clocks`` consecutive clocks.
+
+    Complements the exact wait-for deadlock analysis: that analysis is
+    deliberately optimistic about free channels, so a global stall with
+    no cyclic wait (e.g. every worm waiting on a failed link that never
+    gets reconfigured, or pathological arbitration starvation) does not
+    trigger it.  The message carries a dump of the stuck worms.
+    """
+
+
 class WormholeSimulator:
     """Cycle-accurate wormhole simulation of one routing function.
 
@@ -95,6 +106,12 @@ class WormholeSimulator:
         self._check_invariants = False
         #: optional :class:`repro.simulator.trace.TraceRecorder`
         self.tracer = None
+        #: channels killed by a live fault — never granted to a header
+        #: (they read FREE once drained, but arbitration skips them)
+        self.dead_channels: set = set()
+        #: optional :class:`repro.faults.FaultRuntime` driving live
+        #: fault injection and online reconfiguration
+        self.faults = None
 
     # ------------------------------------------------------------------
     # public driver
@@ -110,17 +127,32 @@ class WormholeSimulator:
             self.stats.window_clocks += 1
             self.stats.on_tick()
         backlog = sum(len(q) for q in self.queues)
-        return self.stats.finalize(queue_backlog=backlog)
+        reconfigs = self.faults.records if self.faults is not None else ()
+        return self.stats.finalize(queue_backlog=backlog, reconfigurations=reconfigs)
 
     def enable_invariant_checks(self) -> None:
         """Verify flit conservation for every worm each clock (tests)."""
         self._check_invariants = True
+
+    def attach_faults(self, runtime) -> None:
+        """Install a :class:`repro.faults.FaultRuntime` on this engine.
+
+        The runtime is stepped at the start of every clock: it fires
+        scheduled faults (killing channels, dropping/truncating the
+        worms crossing them), re-injects retried packets, and swaps
+        routing tables after each drain window.
+        """
+        if runtime.schedule.topology != self.topology:
+            raise ValueError("fault schedule built for a different topology")
+        self.faults = runtime
 
     # ------------------------------------------------------------------
     # one clock
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by one clock."""
+        if self.faults is not None:
+            self.faults.on_clock(self)
         progressed = self._move_bodies_and_heads()
         if progressed:
             self._last_progress = self.clock
@@ -129,6 +161,13 @@ class WormholeSimulator:
             dead = self.find_deadlocked_worms()
             if dead:
                 raise DeadlockDetected(self._deadlock_report(dead))
+        stall = self.config.max_stall_clocks
+        if (
+            stall is not None
+            and self.clock - self._last_progress >= stall
+            and (self.active or any(self.queues))
+        ):
+            raise LivelockSuspected(self._stall_report(stall))
         self._generate_packets()
         if self._check_invariants:
             for w in self.active:
@@ -187,6 +226,7 @@ class WormholeSimulator:
             granted_channels: set = set()
             granted_consume: set = set()
             occ = self.channel_occ
+            dead = self.dead_channels
             for idx in order:
                 w, origin, cands = header_requests[idx]
                 if origin is None:
@@ -197,7 +237,9 @@ class WormholeSimulator:
                 avail = [
                     c
                     for c in cands
-                    if occ[c] == FREE and c not in granted_channels
+                    if occ[c] == FREE
+                    and c not in granted_channels
+                    and c not in dead
                 ]
                 if not avail:
                     continue
@@ -291,11 +333,19 @@ class WormholeSimulator:
                 w.t_done = clock
                 self.consume_occ[w.dst] = FREE
                 finished.append(w)
-                stats.on_delivered(
-                    latency=w.t_done - w.t_gen,
-                    header_latency=(w.t_head_arrival or clock) - w.t_gen,
-                    hops=w.hops,
-                )
+                if w.corrupted:
+                    # a fault cut this worm's tail; the fragment drained
+                    # but the packet was not delivered — hand it to the
+                    # retry layer
+                    stats.on_corrupted()
+                    if self.faults is not None:
+                        self.faults.on_packet_failure(self, w)
+                else:
+                    stats.on_delivered(
+                        latency=w.t_done - w.t_gen,
+                        header_latency=(w.t_head_arrival or clock) - w.t_gen,
+                        hops=w.hops,
+                    )
                 if self.tracer is not None:
                     self.tracer.record(clock, "done", w.pid, w.src, w.dst)
         if finished:
@@ -344,13 +394,23 @@ class WormholeSimulator:
         if p <= 0.0:
             return
         n = self.topology.n
+        dead_switches = (
+            self.faults.dead_switches if self.faults is not None else ()
+        )
         hits = np.nonzero(self.rng.random(n) < p)[0]
         for s in hits:
             s = int(s)
+            if s in dead_switches:
+                continue  # a failed switch generates nothing
             if cfg.max_queue is not None and len(self.queues[s]) >= cfg.max_queue:
                 self.stats.on_generate(dropped=True)
                 continue
             dst = self.traffic.destination(s, self.rng)
+            if dst in dead_switches:
+                # addressed to a failed host: lost at generation time
+                self.stats.on_generate()
+                self.stats.on_lost()
+                continue
             length = cfg.sample_length(self.rng)
             w = Worm(self._next_pid, s, dst, length, self.clock)
             self._next_pid += 1
@@ -399,6 +459,190 @@ class WormholeSimulator:
                     live[w.pid] = True
                     changed = True
         return [w for w in injected if not live.get(w.pid)]
+
+    # ------------------------------------------------------------------
+    # fault hooks (driven by repro.faults.FaultRuntime)
+    # ------------------------------------------------------------------
+    def _fault_kill_link(self, link: Tuple[int, int], policy: str) -> List[Worm]:
+        """Kill both channels of *link*; handle worms crossing it.
+
+        ``drop`` removes a crossing worm outright (all resources freed
+        instantly — an idealised abort signal).  ``drain`` keeps the
+        fragment on the destination side of the break: flits already
+        across the failed link continue to the destination and release
+        their channels naturally, while the tail side is reclaimed; the
+        fragment is marked ``corrupted`` and reported to the retry
+        layer when it finishes draining.  Returns the worms removed
+        *now* (drain fragments are reported later, at completion).
+        """
+        u, v = link
+        cids = (self.topology.channel_id(u, v), self.topology.channel_id(v, u))
+        self.dead_channels.update(cids)
+        removed: List[Worm] = []
+        for w in list(self.active):
+            k = next((i for i, c in enumerate(w.chain) if c in cids), None)
+            if k is None:
+                continue
+            if policy == "drain":
+                # flits buffered in chain[k] already crossed the link
+                # (they sit in the sink-side input buffer), so the
+                # fragment keeps indices 0..k and loses everything
+                # upstream of the break
+                kept = w.chain_flits[: k + 1]
+                if sum(kept) > 0 or w.consuming:
+                    for c in w.chain[k + 1 :]:
+                        self.channel_occ[c] = FREE
+                    if self.injection_occ[w.src] == w.pid:
+                        self.injection_occ[w.src] = FREE
+                    w.chain = w.chain[: k + 1]
+                    w.chain_flits = kept
+                    w.flits_at_source = 0
+                    w.length = w.consumed + sum(kept)
+                    w.corrupted = True
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            self.clock, "truncate", w.pid, w.src, w.dst
+                        )
+                    continue
+            self._drop_worm(w)
+            removed.append(w)
+        return removed
+
+    def _fault_restore_link(self, link: Tuple[int, int]) -> None:
+        """Revive both channels of *link* (a flap's UP edge).
+
+        The channels become *grantable* again immediately, but carry no
+        traffic until a reconfiguration installs tables that reference
+        them.
+        """
+        u, v = link
+        self.dead_channels.discard(self.topology.channel_id(u, v))
+        self.dead_channels.discard(self.topology.channel_id(v, u))
+
+    def _fault_kill_switch(self, v: int, policy: str) -> List[Worm]:
+        """Kill switch *v*: all incident links, plus traffic bound to it.
+
+        Removes queued packets at *v*, active worms destined to *v*
+        (their consumption port is gone for good), and active worms
+        sourced at *v* that still have flits to feed.  Returns every
+        worm removed, including those taken out by the incident-link
+        kills.
+        """
+        removed: List[Worm] = []
+        for nb in self.topology.neighbors(v):
+            link = (v, nb) if v < nb else (nb, v)
+            if self.topology.channel_id(link[0], link[1]) in self.dead_channels:
+                continue
+            removed.extend(self._fault_kill_link(link, policy))
+        for w in self.queues[v]:
+            self.worms.pop(w.pid, None)
+            removed.append(w)
+        self.queues[v].clear()
+        for w in list(self.active):
+            if w.dst == v or (w.src == v and w.flits_at_source > 0):
+                self._drop_worm(w)
+                removed.append(w)
+        return removed
+
+    def _fault_swap_routing(self, routing: RoutingFunction) -> None:
+        """Atomically install reconfigured routing tables.
+
+        *routing* must be remapped to this engine's (full) topology
+        channel-id space — see
+        :func:`repro.faults.controller.remap_routing`.
+        """
+        if routing.topology != self.topology:
+            raise ValueError("swapped routing must be remapped to the full topology")
+        self.routing = routing
+
+    def _fault_eject_stranded(self) -> Tuple[List[Worm], List[Worm]]:
+        """Drop worms and queued packets the new tables cannot carry.
+
+        A worm survives the swap only if its *held chain* is a path the
+        new routing function could itself have produced (each adjacent
+        channel pair is an admissible new-epoch turn) and its head
+        still has a way forward.  Ejecting nonconforming worms restores
+        the Dally-Seitz induction for the new epoch — every remaining
+        hold and every wait follows the new (verified acyclic) channel
+        dependency graph, so the transition cannot introduce a deadlock
+        through mixed-epoch ("ghost") dependencies.  Queued packets
+        whose destination became unroutable (endpoint died) are
+        cancelled.  Returns ``(ejected worms, cancelled packets)``.
+        """
+        ejected: List[Worm] = []
+        for w in list(self.active):
+            if w.consuming or not w.chain:
+                continue
+            if not self._chain_conforms(w):
+                self._drop_worm(w)
+                ejected.append(w)
+        cancelled: List[Worm] = []
+        for s, q in enumerate(self.queues):
+            if not q:
+                continue
+            stranded = [w for w in q if not self.routing.first_hops[w.dst][s]]
+            if stranded:
+                kept = [w for w in q if self.routing.first_hops[w.dst][s]]
+                q.clear()
+                q.extend(kept)
+                for w in stranded:
+                    self.worms.pop(w.pid, None)
+                cancelled.extend(stranded)
+        return ejected, cancelled
+
+    def _chain_conforms(self, w: Worm) -> bool:
+        """Is *w*'s held chain a valid path under the current tables?"""
+        nh = self.routing.next_hops[w.dst]
+        for i in range(len(w.chain) - 1, 0, -1):
+            if w.chain[i - 1] not in nh[w.chain[i]]:
+                return False
+        head = w.chain[0]
+        if self._sink[head] == w.dst:
+            return True
+        return bool(nh[head])
+
+    def _drop_worm(self, w: Worm) -> None:
+        """Remove *w* from the network, freeing every held resource."""
+        for c in w.chain:
+            self.channel_occ[c] = FREE
+        if w.consuming:
+            self.consume_occ[w.dst] = FREE
+        if self.injection_occ[w.src] == w.pid:
+            self.injection_occ[w.src] = FREE
+        w.chain = []
+        w.chain_flits = []
+        self.active.remove(w)
+        self.worms.pop(w.pid, None)
+        if self.tracer is not None:
+            self.tracer.record(self.clock, "drop", w.pid, w.src, w.dst)
+
+    def _fault_requeue(
+        self, src: int, dst: int, length: int, logical_id: int,
+        attempts: int, t_gen: int,
+    ) -> Worm:
+        """Re-enqueue a retried packet at its source (retry layer)."""
+        w = Worm(self._next_pid, src, dst, length, t_gen)
+        self._next_pid += 1
+        w.logical_id = logical_id
+        w.attempts = attempts
+        w.head_ready_at = self.clock
+        self.worms[w.pid] = w
+        self.queues[src].append(w)
+        if self.tracer is not None:
+            self.tracer.record(self.clock, "retry", w.pid, src, dst)
+        return w
+
+    def _stall_report(self, stall: int) -> str:
+        stuck = [
+            (w.pid, w.src, w.dst, list(zip(w.chain, w.chain_flits)))
+            for w in self.active[:6]
+        ]
+        queued = sum(len(q) for q in self.queues)
+        return (
+            f"no flit moved for {stall} clocks (clock {self.clock}, last "
+            f"progress {self._last_progress}) with {len(self.active)} worms "
+            f"active and {queued} packets queued; worm dump: {stuck}"
+        )
 
     def _deadlock_report(self, dead: List[Worm]) -> str:
         held = [

@@ -34,6 +34,10 @@ class Worm:
         "head_ready_at",
         "consuming",
         "hops",
+        "full_length",
+        "corrupted",
+        "attempts",
+        "logical_id",
     )
 
     def __init__(self, pid: int, src: int, dst: int, length: int, t_gen: int) -> None:
@@ -42,6 +46,17 @@ class Worm:
         self.dst = dst
         self.length = length
         self.t_gen = t_gen
+        #: original payload length; ``length`` may shrink when a fault
+        #: truncates the worm under the ``drain`` policy
+        self.full_length = length
+        #: True once a link failure cut this worm's tail off — the
+        #: surviving fragment drains to the destination but the packet
+        #: does not count as delivered
+        self.corrupted = False
+        #: source-side re-injections of this logical packet so far
+        self.attempts = 0
+        #: stable id across retries (the original worm's pid)
+        self.logical_id = pid
         #: clock the header entered the network (left the source queue)
         self.t_inject: Optional[int] = None
         #: clock the header reached the destination's consumption port

@@ -39,6 +39,17 @@ class StatsCollector:
         self.generated_packets = 0
         self.dropped_packets = 0
         self.delivered_packets = 0
+        #: packets removed from the network by a fault (drop/eject/
+        #: truncation) — each may later be retried from the source
+        self.fault_drops = 0
+        #: source-side re-injections of fault-dropped packets
+        self.retries = 0
+        #: packets abandoned for good (retry budget exhausted, or
+        #: unroutable because an endpoint switch died)
+        self.lost_packets = 0
+        #: truncated worm fragments that finished draining (``drain``
+        #: fault policy; the packet itself is not delivered)
+        self.corrupted_deliveries = 0
         self.latencies: List[int] = []
         self.header_latencies: List[int] = []
         self.hop_counts: List[int] = []
@@ -73,6 +84,22 @@ class StatsCollector:
             self.header_latencies.append(header_latency)
             self.hop_counts.append(hops)
 
+    def on_fault_drop(self) -> None:
+        if self.active:
+            self.fault_drops += 1
+
+    def on_retry(self) -> None:
+        if self.active:
+            self.retries += 1
+
+    def on_lost(self) -> None:
+        if self.active:
+            self.lost_packets += 1
+
+    def on_corrupted(self) -> None:
+        if self.active:
+            self.corrupted_deliveries += 1
+
     def on_tick(self) -> None:
         """Record a timeline snapshot if the cadence is due.
 
@@ -88,7 +115,9 @@ class StatsCollector:
                 (self.window_clocks, int(self.consumed_flits.sum()))
             )
 
-    def finalize(self, queue_backlog: int) -> "SimulationStats":
+    def finalize(
+        self, queue_backlog: int, reconfigurations: Tuple = ()
+    ) -> "SimulationStats":
         """Freeze the window counters into a :class:`SimulationStats`."""
         if self.window_clocks <= 0:
             raise ValueError("no measurement window was recorded")
@@ -106,6 +135,11 @@ class StatsCollector:
             hop_counts=tuple(self.hop_counts),
             queue_backlog=queue_backlog,
             timeline=tuple(self._timeline),
+            fault_drops=self.fault_drops,
+            retries=self.retries,
+            lost_packets=self.lost_packets,
+            corrupted_deliveries=self.corrupted_deliveries,
+            reconfigurations=tuple(reconfigurations),
         )
 
 
@@ -134,6 +168,17 @@ class SimulationStats:
     #: (window clock, cumulative consumed flits) snapshots; empty when
     #: the collector's ``timeline_interval`` was 0
     timeline: Tuple[Tuple[int, int], ...] = ()
+    #: packets a fault removed from the network during the window
+    fault_drops: int = 0
+    #: source-side re-injections of fault-dropped packets
+    retries: int = 0
+    #: packets abandoned for good (budget exhausted / endpoint dead)
+    lost_packets: int = 0
+    #: truncated fragments that finished draining (``drain`` policy)
+    corrupted_deliveries: int = 0
+    #: :class:`repro.faults.ReconfigurationRecord` entries, one per
+    #: online routing-table swap performed during the run
+    reconfigurations: Tuple = ()
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -164,6 +209,20 @@ class SimulationStats:
     def average_hops(self) -> float:
         """Mean header hop count of delivered packets."""
         return float(np.mean(self.hop_counts)) if self.hop_counts else float("nan")
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of *resolved* packets that were fully delivered.
+
+        ``delivered / (delivered + lost)`` — a packet counts against
+        this only once it is abandoned for good (retry budget
+        exhausted, or an endpoint switch died); packets still queued,
+        in flight or awaiting a retry at the end of the window are
+        unresolved and excluded, like the queue backlog.  1.0 for any
+        fault-free run.
+        """
+        resolved = self.delivered_packets + self.lost_packets
+        return self.delivered_packets / resolved if resolved else 1.0
 
     # -- channel-level views (consumed by repro.metrics) ----------------
     def channel_utilization(self) -> np.ndarray:
@@ -212,4 +271,8 @@ class SimulationStats:
             "delivered_packets": float(self.delivered_packets),
             "generated_packets": float(self.generated_packets),
             "queue_backlog": float(self.queue_backlog),
+            "delivered_fraction": self.delivered_fraction,
+            "fault_drops": float(self.fault_drops),
+            "retries": float(self.retries),
+            "lost_packets": float(self.lost_packets),
         }

@@ -107,6 +107,10 @@ class VirtualChannelSimulator:
         self._next_pid = 0
         self.stats = StatsCollector(self.topology)
         self._check_invariants = False
+        #: *physical* channels killed by a live fault
+        self.dead_channels: set = set()
+        #: optional :class:`repro.faults.FaultRuntime`
+        self.faults = None
 
     # -- vc id helpers ---------------------------------------------------
     def phys(self, vcid: int) -> int:
@@ -119,6 +123,8 @@ class VirtualChannelSimulator:
 
     def free_vcs(self, cid: int, classes: range) -> List[int]:
         """Free virtual channels of physical *cid* within *classes*."""
+        if cid in self.dead_channels:
+            return []
         return [
             self.vcid(cid, v)
             for v in classes
@@ -165,6 +171,8 @@ class VirtualChannelSimulator:
         else:
             esc_cands = d.escape.first_hops[w.dst][node]
         for c in esc_cands:
+            if c in self.dead_channels:
+                continue
             ev = self.vcid(c, 0)
             if self.vc_occ[ev] == FREE:
                 out.append(ev)
@@ -180,15 +188,34 @@ class VirtualChannelSimulator:
             self.step()
             self.stats.window_clocks += 1
             self.stats.on_tick()
-        return self.stats.finalize(sum(len(q) for q in self.queues))
+        reconfigs = self.faults.records if self.faults is not None else ()
+        return self.stats.finalize(
+            sum(len(q) for q in self.queues), reconfigurations=reconfigs
+        )
 
     def enable_invariant_checks(self) -> None:
         """Check flit conservation per worm each clock (tests)."""
         self._check_invariants = True
 
+    def attach_faults(self, runtime) -> None:
+        """Install a :class:`repro.faults.FaultRuntime` on this engine.
+
+        Only the ``replicate`` VC policy is supported: the Duato escape
+        layer's two-routing structure has no remapped swap path yet.
+        """
+        if self.duato:
+            raise ValueError(
+                "fault injection supports the replicate VC policy only"
+            )
+        if runtime.schedule.topology != self.topology:
+            raise ValueError("fault schedule built for a different topology")
+        self.faults = runtime
+
     # -- one clock ----------------------------------------------------------
     def step(self) -> None:
         """Advance one clock."""
+        if self.faults is not None:
+            self.faults.on_clock(self)
         self._move()
         interval = self.config.deadlock_interval
         if interval and self.clock % interval == interval - 1:
@@ -362,11 +389,16 @@ class VirtualChannelSimulator:
                 w.t_done = clock
                 self.consume_occ[w.dst] = FREE
                 finished.append(w)
-                stats.on_delivered(
-                    latency=w.t_done - w.t_gen,
-                    header_latency=(w.t_head_arrival or clock) - w.t_gen,
-                    hops=w.hops,
-                )
+                if w.corrupted:
+                    stats.on_corrupted()
+                    if self.faults is not None:
+                        self.faults.on_packet_failure(self, w)
+                else:
+                    stats.on_delivered(
+                        latency=w.t_done - w.t_gen,
+                        header_latency=(w.t_head_arrival or clock) - w.t_gen,
+                        hops=w.hops,
+                    )
         if finished:
             done = {w.pid for w in finished}
             self.active = [w for w in self.active if w.pid not in done]
@@ -378,18 +410,154 @@ class VirtualChannelSimulator:
             return
         import numpy as np
 
+        dead_switches = (
+            self.faults.dead_switches if self.faults is not None else ()
+        )
         hits = np.nonzero(self.rng.random(self.topology.n) < p)[0]
         for s in hits:
             s = int(s)
+            if s in dead_switches:
+                continue
             if cfg.max_queue is not None and len(self.queues[s]) >= cfg.max_queue:
                 self.stats.on_generate(dropped=True)
                 continue
             dst = self.traffic.destination(s, self.rng)
+            if dst in dead_switches:
+                self.stats.on_generate()
+                self.stats.on_lost()
+                continue
             length = cfg.sample_length(self.rng)
             w = Worm(self._next_pid, s, dst, length, self.clock)
             self._next_pid += 1
             self.queues[s].append(w)
             self.stats.on_generate()
+
+    # -- fault hooks (driven by repro.faults.FaultRuntime) -----------------
+    def _fault_kill_link(self, link, policy: str) -> List[Worm]:
+        """Kill both physical channels of *link* (see base engine).
+
+        Chains here hold *virtual* channel ids, so crossing worms are
+        found through :meth:`phys`; the drop/drain semantics mirror
+        :meth:`WormholeSimulator._fault_kill_link`.
+        """
+        u, v = link
+        phys_cids = (
+            self.topology.channel_id(u, v),
+            self.topology.channel_id(v, u),
+        )
+        self.dead_channels.update(phys_cids)
+        removed: List[Worm] = []
+        for w in list(self.active):
+            k = next(
+                (i for i, c in enumerate(w.chain) if self.phys(c) in phys_cids),
+                None,
+            )
+            if k is None:
+                continue
+            if policy == "drain":
+                kept = w.chain_flits[: k + 1]
+                if sum(kept) > 0 or w.consuming:
+                    for c in w.chain[k + 1 :]:
+                        self.vc_occ[c] = FREE
+                    if self.injection_occ[w.src] == w.pid:
+                        self.injection_occ[w.src] = FREE
+                    w.chain = w.chain[: k + 1]
+                    w.chain_flits = kept
+                    w.flits_at_source = 0
+                    w.length = w.consumed + sum(kept)
+                    w.corrupted = True
+                    continue
+            self._drop_worm(w)
+            removed.append(w)
+        return removed
+
+    def _fault_restore_link(self, link) -> None:
+        """Revive both physical channels of *link*."""
+        u, v = link
+        self.dead_channels.discard(self.topology.channel_id(u, v))
+        self.dead_channels.discard(self.topology.channel_id(v, u))
+
+    def _fault_kill_switch(self, v: int, policy: str) -> List[Worm]:
+        """Kill switch *v* and every packet that depends on it."""
+        removed: List[Worm] = []
+        for nb in self.topology.neighbors(v):
+            link = (v, nb) if v < nb else (nb, v)
+            if self.topology.channel_id(link[0], link[1]) in self.dead_channels:
+                continue
+            removed.extend(self._fault_kill_link(link, policy))
+        removed.extend(self.queues[v])
+        self.queues[v].clear()
+        for w in list(self.active):
+            if w.dst == v or (w.src == v and w.flits_at_source > 0):
+                self._drop_worm(w)
+                removed.append(w)
+        return removed
+
+    def _fault_swap_routing(self, routing: RoutingFunction) -> None:
+        """Install reconfigured (full-topology-remapped) routing tables."""
+        if routing.topology != self.topology:
+            raise ValueError("swapped routing must be remapped to the full topology")
+        self.routing = routing
+
+    def _fault_eject_stranded(self):
+        """Eject worms/queued packets the new tables cannot carry.
+
+        Same epoch-conformance rule as the base engine, applied to the
+        physical projection of the held VC chain.
+        """
+        ejected: List[Worm] = []
+        for w in list(self.active):
+            if w.consuming or not w.chain:
+                continue
+            if not self._chain_conforms(w):
+                self._drop_worm(w)
+                ejected.append(w)
+        cancelled: List[Worm] = []
+        for s, q in enumerate(self.queues):
+            if not q:
+                continue
+            stranded = [w for w in q if not self.routing.first_hops[w.dst][s]]
+            if stranded:
+                kept = [w for w in q if self.routing.first_hops[w.dst][s]]
+                q.clear()
+                q.extend(kept)
+                cancelled.extend(stranded)
+        return ejected, cancelled
+
+    def _chain_conforms(self, w: Worm) -> bool:
+        nh = self.routing.next_hops[w.dst]
+        for i in range(len(w.chain) - 1, 0, -1):
+            if self.phys(w.chain[i - 1]) not in nh[self.phys(w.chain[i])]:
+                return False
+        head = self.phys(w.chain[0])
+        if self._sink[head] == w.dst:
+            return True
+        return bool(nh[head])
+
+    def _drop_worm(self, w: Worm) -> None:
+        """Remove *w* from the network, freeing every held VC."""
+        for c in w.chain:
+            self.vc_occ[c] = FREE
+        if w.consuming:
+            self.consume_occ[w.dst] = FREE
+        if self.injection_occ[w.src] == w.pid:
+            self.injection_occ[w.src] = FREE
+        w.chain = []
+        w.chain_flits = []
+        self.active.remove(w)
+
+    def _fault_requeue(
+        self, src: int, dst: int, length: int, logical_id: int,
+        attempts: int, t_gen: int,
+    ) -> Worm:
+        """Re-enqueue a retried packet at its source."""
+        w = Worm(self._next_pid, src, dst, length, t_gen)
+        self._next_pid += 1
+        w.logical_id = logical_id
+        w.attempts = attempts
+        w.head_ready_at = self.clock
+        self.queues[src].append(w)
+        return w
 
     def find_deadlocked_worms(self) -> List[Worm]:
         """Wait-for fixpoint over virtual-channel resources.

@@ -8,11 +8,56 @@ tests and the harness can assert "this input is usable" in one call.
 
 from __future__ import annotations
 
+from typing import Set, Tuple
+
 from repro.topology.graph import Topology
 
 
 class TopologyError(ValueError):
     """A topology violates a structural invariant."""
+
+
+def find_bridges(topology: Topology) -> Set[Tuple[int, int]]:
+    """All bridge links (links whose removal disconnects a component).
+
+    Single-pass iterative Tarjan low-link computation, ``O(|V| + |E|)``.
+    A tree edge ``(parent, v)`` is a bridge iff no back edge from ``v``'s
+    subtree reaches ``parent`` or above (``low[v] > disc[parent]``).
+    Works per connected component, so isolated switches (e.g. failed
+    ones in a survivor graph) are harmless.  Returned links are
+    normalised ``(min, max)`` pairs, matching ``Topology.links``.
+    """
+    n = topology.n
+    disc = [-1] * n
+    low = [0] * n
+    timer = 0
+    bridges: Set[Tuple[int, int]] = set()
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        disc[root] = low[root] = timer
+        timer += 1
+        # stack frames: (vertex, parent, index of next neighbour to scan)
+        stack = [(root, -1, 0)]
+        while stack:
+            v, parent, i = stack.pop()
+            nbrs = topology.neighbors(v)
+            if i < len(nbrs):
+                stack.append((v, parent, i + 1))
+                w = nbrs[i]
+                if w == parent:
+                    continue  # the tree edge; simple graph, so unique
+                if disc[w] == -1:
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    stack.append((w, v, 0))
+                else:
+                    low[v] = min(low[v], disc[w])
+            elif parent != -1:
+                low[parent] = min(low[parent], low[v])
+                if low[v] > disc[parent]:
+                    bridges.add((parent, v) if parent < v else (v, parent))
+    return bridges
 
 
 def validate_topology(topology: Topology, require_connected: bool = True) -> None:
