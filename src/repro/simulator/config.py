@@ -69,6 +69,14 @@ class SimulationConfig:
         (default) uses the fixed *packet_length*.  The offered load in
         flits/clock/node is preserved: the per-clock generation
         probability uses the *mean* length of the mix.
+    fast_path:
+        Select the engines' step implementation.  ``True`` (default)
+        runs the active-set scheduler with the per-epoch
+        routing-decision cache (:mod:`repro.simulator.fastpath`);
+        ``False`` runs the seed reference implementation.  Both produce
+        **byte-identical** statistics for a fixed seed — enforced by the
+        differential golden suite — so this knob only trades speed for
+        auditability.
     """
 
     packet_length: int = 128
@@ -84,6 +92,7 @@ class SimulationConfig:
     max_queue: Optional[int] = None
     selection_policy: str = "random"
     length_mix: Optional[tuple] = None
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.packet_length < 1:
@@ -162,3 +171,7 @@ class SimulationConfig:
     def with_seed(self, seed: Optional[int]) -> "SimulationConfig":
         """Copy of this config with a different seed."""
         return replace(self, seed=seed)
+
+    def with_fast_path(self, fast_path: bool) -> "SimulationConfig":
+        """Copy of this config selecting the engine step implementation."""
+        return replace(self, fast_path=fast_path)

@@ -29,13 +29,18 @@ cycle *will* deadlock, which the watchdog turns into a loud
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.routing.base import RoutingFunction
 from repro.simulator.config import SimulationConfig
+from repro.simulator.fastpath import (
+    DecisionCache,
+    InjectionWheel,
+    NotifyingDeque,
+    ObservedSet,
+)
 from repro.simulator.packet import Worm
 from repro.simulator.stats import SimulationStats, StatsCollector
 from repro.simulator.traffic import TrafficPattern, UniformTraffic
@@ -81,7 +86,7 @@ class WormholeSimulator:
         config: SimulationConfig,
         traffic: Optional[TrafficPattern] = None,
     ) -> None:
-        self.routing = routing
+        self._routing = routing
         self.topology = routing.topology
         self.config = config
         self.traffic = traffic if traffic is not None else UniformTraffic(self.topology.n)
@@ -96,7 +101,11 @@ class WormholeSimulator:
         self._sink = [ch.sink for ch in self.topology.channels]
         self.injection_occ = [FREE] * n
         self.consume_occ = [FREE] * n
-        self.queues: List[Deque[Worm]] = [deque() for _ in range(n)]
+        #: event wheel over sources with pending injections (fast path)
+        self._wheel = InjectionWheel()
+        self.queues: List[Deque[Worm]] = [
+            NotifyingDeque(self._wheel, s) for s in range(n)
+        ]
         self.active: List[Worm] = []
         self.worms: Dict[int, Worm] = {}
         self.clock = 0
@@ -107,11 +116,86 @@ class WormholeSimulator:
         #: optional :class:`repro.simulator.trace.TraceRecorder`
         self.tracer = None
         #: channels killed by a live fault — never granted to a header
-        #: (they read FREE once drained, but arbitration skips them)
-        self.dead_channels: set = set()
+        #: (they read FREE once drained, but arbitration skips them).
+        #: Mutations invalidate the decision cache automatically.
+        self.dead_channels: set = ObservedSet(self._invalidate_decisions)
         #: optional :class:`repro.faults.FaultRuntime` driving live
         #: fault injection and online reconfiguration
         self.faults = None
+        #: per-epoch routing-decision cache (dead-channel-filtered
+        #: candidate rows; see :class:`repro.simulator.fastpath.DecisionCache`)
+        self.decision_cache = DecisionCache(routing, self.dead_channels)
+        #: per-clock config constants, hoisted out of the clock loop
+        #: (the config is frozen, so these never change)
+        self._gen_p = config.packet_probability
+        self._deadlock_interval = config.deadlock_interval
+        self._max_stall = config.max_stall_clocks
+        self._cap = config.buffer_flits
+        self._hdr_latency = config.header_delay + config.link_delay
+        self._n = n
+        #: fast-path arbitration may claim grants by writing the
+        #: occupancy maps in place — valid unless the selection policy
+        #: reads occupancy mid-arbitration (least-congested does)
+        self._occ_write = config.selection_policy != "least-congested"
+        #: the live list: active worms not known-quiet, i.e. the only
+        #: ones the body-plan scan must visit (fast path)
+        self._live: List[Worm] = []
+        #: memoized in-network header-request list and the last clock
+        #: of its dirty window (fast path); reused verbatim on clean
+        #: clocks since nothing that feeds it changed
+        self._req_cache: Optional[List[tuple]] = None
+        self._req_dirty_until = -1
+        self._move_impl = (
+            self._move_fast
+            if getattr(config, "fast_path", True)
+            else self._move_bodies_and_heads
+        )
+
+    # ------------------------------------------------------------------
+    # routing tables (epoch-atomic swap point)
+    # ------------------------------------------------------------------
+    @property
+    def routing(self) -> RoutingFunction:
+        """The installed routing tables."""
+        return self._routing
+
+    @routing.setter
+    def routing(self, routing: RoutingFunction) -> None:
+        """Install new tables and atomically start a new decision epoch.
+
+        Assignment is the *only* way tables change (the fault layer's
+        swap hook goes through here too), so the decision cache can
+        never serve candidates computed from a previous epoch.
+        """
+        self._routing = routing
+        self.decision_cache.attach(routing)
+        self._drop_worm_memos()
+
+    def _invalidate_decisions(self) -> None:
+        """Dead-channel set changed: drop every cached decision row."""
+        cache = getattr(self, "decision_cache", None)
+        if cache is not None:
+            cache.invalidate()
+            self._drop_worm_memos()
+
+    def _drop_worm_memos(self) -> None:
+        """Clear every memoized header request (epoch change).
+
+        Clearing eagerly at the (rare) invalidation point lets the
+        per-clock loop test only ``hdr_req is not None`` instead of
+        comparing epochs per worm per clock.  The cached request list
+        is dropped with the memos it holds.
+        """
+        for w in self.active:
+            w.hdr_req = None
+        self._req_cache = None
+        self._req_dirty_until = self.clock + self._hdr_latency
+
+    def _wake_worm(self, w: Worm) -> None:
+        """Put *w* back on the live list after an external mutation."""
+        if w.quiet:
+            w.quiet = False
+            self._live.append(w)
 
     # ------------------------------------------------------------------
     # public driver
@@ -119,13 +203,17 @@ class WormholeSimulator:
     def run(self) -> SimulationStats:
         """Run warmup + measurement and return the window statistics."""
         cfg = self.config
+        step = self.step
         for _ in range(cfg.warmup_clocks):
-            self.step()
-        self.stats.active = True
+            step()
+        stats = self.stats
+        stats.active = True
+        sample_timeline = stats.timeline_interval > 0
         for _ in range(cfg.measure_clocks):
-            self.step()
-            self.stats.window_clocks += 1
-            self.stats.on_tick()
+            step()
+            stats.window_clocks += 1
+            if sample_timeline:
+                stats.on_tick()
         backlog = sum(len(q) for q in self.queues)
         reconfigs = self.faults.records if self.faults is not None else ()
         return self.stats.finalize(queue_backlog=backlog, reconfigurations=reconfigs)
@@ -153,15 +241,15 @@ class WormholeSimulator:
         """Advance the simulation by one clock."""
         if self.faults is not None:
             self.faults.on_clock(self)
-        progressed = self._move_bodies_and_heads()
+        progressed = self._move_impl()
         if progressed:
             self._last_progress = self.clock
-        interval = self.config.deadlock_interval
+        interval = self._deadlock_interval
         if interval and self.clock % interval == interval - 1:
             dead = self.find_deadlocked_worms()
             if dead:
                 raise DeadlockDetected(self._deadlock_report(dead))
-        stall = self.config.max_stall_clocks
+        stall = self._max_stall
         if (
             stall is not None
             and self.clock - self._last_progress >= stall
@@ -178,6 +266,15 @@ class WormholeSimulator:
     # internals
     # ------------------------------------------------------------------
     def _move_bodies_and_heads(self) -> bool:
+        """One clock of flit movement — the seed *reference* implementation.
+
+        Kept verbatim as the golden model: the fast path
+        (:meth:`_move_fast`) must replay this function's decisions —
+        plans, grants and RNG consumption — bit for bit, and the
+        differential suite in ``tests/test_engine_equivalence.py``
+        compares the two on seeded scenarios.  Selected with
+        ``SimulationConfig(fast_path=False)``.
+        """
         cap = self.config.buffer_flits
         stats = self.stats
         clock = self.clock
@@ -355,6 +452,343 @@ class WormholeSimulator:
                 self.worms.pop(w.pid, None)
         return progressed
 
+    def _move_fast(self) -> bool:
+        """One clock of flit movement — the fast-path implementation.
+
+        Byte-identical to :meth:`_move_bodies_and_heads` for any fixed
+        seed (same plans, same grants, same RNG draws in the same
+        order), but organised around the active set:
+
+        * worms whose body provably cannot move are parked (their
+          ``quiet`` flag) and only the live list — the non-quiet worms —
+          is scanned for body plans: a worm's buffer state only changes
+          through its own moves, so "no body plan this clock and no
+          grant" implies "no body plan next clock".  Plan *order* is
+          free to differ from the reference because every plan commit
+          touches only its own worm's state plus commutative ``+=``
+          counters;
+        * header-request *order* is not free (the arbitration RNG
+          permutes list indices), so the in-network request list is
+          rebuilt in active order — but only on dirty clocks.  Grants,
+          header ripening (a granted header re-requests after its
+          routing delay), fault mutations and epoch swaps mark a dirty
+          window; on the other clocks the previous list is reused
+          as-is.  Each blocked worm's request tuple is additionally
+          memoized on the worm (``hdr_req``) so dirty rebuilds are
+          appends, not re-evaluations;
+        * idle sources live on the injection event wheel instead of
+          being rescanned: a source is parked while its front header
+          is inside its routing delay (woken by an engine-clock timer)
+          or while its injection port is busy (woken when the credit
+          returns), and any queue mutation wakes it;
+        * routing candidates come from the per-epoch decision cache
+          (flat rows with dead channels pre-filtered), invalidated
+          atomically at table swaps and dead-channel changes;
+        * measurement counters are incremented inline on the
+          collector's plain-list counters.
+        """
+        cap = self._cap
+        stats = self.stats
+        clock = self.clock
+        occ = self.channel_occ
+        sink = self._sink
+        active = self.active
+        rec = stats.active
+        ch_flits = stats.channel_flits
+        consumed_flits = stats.consumed_flits
+        injected_flits = stats.injected_flits
+        tracer = self.tracer
+
+        # -- phase 1: body plans over the live (non-quiet) list --------
+        # kinds: 0 = consume, 1 = advance, 2 = feed.  Worms that go
+        # quiet (or retired: finished/dropped worms are marked quiet)
+        # are evicted by not re-appending them; grants and fault wakes
+        # re-add worms via ``_wake_worm`` / the commit loop below.
+        body_plans: List[Tuple[Worm, int, int]] = []
+        plans_append = body_plans.append
+        new_live: List[Worm] = []
+        live_append = new_live.append
+        visited = 0
+        for w in self._live:
+            if w.quiet:
+                continue
+            visited += 1
+            cf = w.chain_flits
+            moved = False
+            if w.consuming and cf and cf[0] > 0:
+                plans_append((w, 0, 0))
+                moved = True
+            for i in range(len(cf) - 1):
+                if cf[i + 1] > 0 and cf[i] < cap:
+                    plans_append((w, 1, i))
+                    moved = True
+            if w.flits_at_source > 0 and cf and cf[-1] < cap:
+                plans_append((w, 2, len(cf) - 1))
+                moved = True
+            if moved:
+                live_append(w)
+            else:
+                # nothing can move until this worm's next grant
+                w.quiet = True
+        self._live = new_live
+        if rec:
+            stats.on_sched(visited, len(active))
+
+        # -- phase 2: header requests on start-of-clock occupancy ------
+        # The in-network list is reused verbatim outside the dirty
+        # window (nothing that feeds it changed); the injection portion
+        # depends on queues/credits and is collected fresh each clock.
+        cache = self.decision_cache
+        in_net = self._req_cache
+        if in_net is None or clock <= self._req_dirty_until:
+            next_rows = cache._next_rows
+            in_net = []
+            req_append = in_net.append
+            for w in active:
+                req = w.hdr_req
+                if req is not None:
+                    req_append(req)
+                    continue
+                if w.consuming or not w.chain or w.head_ready_at > clock:
+                    continue
+                head = w.chain[0]
+                dst = w.dst
+                if sink[head] == dst:
+                    req = (w, None, ())  # consumption request
+                else:
+                    row = next_rows[dst]
+                    if row is None:
+                        row = cache.next_row(dst)
+                    cands = row[head]
+                    # memoize a lone candidate as the bare channel id:
+                    # the arbitration discriminates on the type instead
+                    # of measuring the tuple every clock
+                    if len(cands) == 1:
+                        cands = cands[0]
+                    req = (w, head, cands)
+                w.hdr_req = req
+                req_append(req)
+            self._req_cache = in_net
+        # injection requests from the event wheel, in ascending source
+        # order (matching the reference's full enumerate scan)
+        wheel = self._wheel
+        timers = wheel._timers
+        if timers and timers[0][0] <= clock:
+            wheel.advance(clock)
+        inj_reqs: List[Tuple[Worm, int, Tuple[int, ...]]] = []
+        if wheel.pending:
+            first_rows = cache._first_rows
+            inj_occ = self.injection_occ
+            queues = self.queues
+            for s in sorted(wheel.pending):
+                q = queues[s]
+                if not q:
+                    wheel.sleep(s)
+                    continue
+                if inj_occ[s] != FREE:
+                    # no injection credit: woken when the port frees
+                    wheel.sleep(s)
+                    continue
+                w = q[0]
+                if w.head_ready_at > clock:
+                    wheel.park_until(s, w.head_ready_at)
+                    continue
+                row = first_rows[w.dst]
+                if row is None:
+                    row = cache.first_row(w.dst)
+                cands = row[s]
+                if len(cands) == 1:
+                    cands = cands[0]
+                inj_reqs.append((w, -1, cands))
+        header_requests = in_net + inj_reqs if inj_reqs else in_net
+
+        # arbitrate in random order (identical stream to the reference)
+        grants: List[Tuple[Worm, int, int]] = []
+        if header_requests:
+            # .tolist() so the indices are plain ints (numpy scalars
+            # box on every list index); same RNG draw either way
+            order = self.rng.permutation(len(header_requests)).tolist()
+            consume_occ = self.consume_occ
+            grants_append = grants.append
+            if self._occ_write:
+                # Claim resources by writing the occupancy maps right at
+                # the grant (the commit writes the same values again):
+                # "free and not granted earlier this clock" collapses to
+                # one FREE test.  Only safe while nothing reads the maps
+                # mid-arbitration — the least-congested selection policy
+                # does, so it takes the set-based branch below.
+                for req in map(header_requests.__getitem__, order):
+                    w, origin, cands = req
+                    if origin is None:
+                        dst = w.dst
+                        if consume_occ[dst] == FREE:
+                            consume_occ[dst] = w.pid
+                            grants_append((w, -2, dst))
+                        continue
+                    if cands.__class__ is int:
+                        # singleton candidate (the common case): no list
+                        # build; a lone free candidate never draws RNG
+                        if occ[cands] == FREE:
+                            occ[cands] = w.pid
+                            grants_append((w, origin, cands))
+                        continue
+                    avail = [c for c in cands if occ[c] == FREE]
+                    if not avail:
+                        continue
+                    pick = avail[0] if len(avail) == 1 else self._select(avail)
+                    occ[pick] = w.pid
+                    grants_append((w, origin, pick))
+            else:
+                granted_channels: set = set()
+                granted_consume: set = set()
+                for req in map(header_requests.__getitem__, order):
+                    w, origin, cands = req
+                    if origin is None:
+                        dst = w.dst
+                        if dst not in granted_consume and consume_occ[dst] == FREE:
+                            granted_consume.add(dst)
+                            grants_append((w, -2, dst))
+                        continue
+                    if cands.__class__ is int:
+                        cands = (cands,)
+                    avail = [
+                        c
+                        for c in cands
+                        if occ[c] == FREE and c not in granted_channels
+                    ]
+                    if not avail:
+                        continue
+                    pick = avail[0] if len(avail) == 1 else self._select(avail)
+                    granted_channels.add(pick)
+                    grants_append((w, origin, pick))
+
+        # -- phase 3: commit -------------------------------------------
+        hdr_latency = self._hdr_latency
+        shifted: set = set()
+        if grants:
+            # the granted headers leave (or re-time) the request set
+            # now and re-enter it after their routing delay
+            self._req_cache = None
+            self._req_dirty_until = clock + hdr_latency
+        for w, origin, target in grants:
+            if w.quiet:
+                w.quiet = False
+                live_append(w)
+            w.hdr_req = None
+            if origin == -2:  # consumption port acquired; consume header
+                self.consume_occ[target] = w.pid
+                w.consuming = True
+                w.t_head_arrival = clock
+                w.chain_flits[0] -= 1
+                w.consumed += 1
+                if rec:
+                    consumed_flits[target] += 1
+                if tracer is not None:
+                    tracer.record(clock, "consume", w.pid, w.src, w.dst)
+            elif origin == -1:  # injection: header enters first channel
+                occ[target] = w.pid
+                self.injection_occ[w.src] = w.pid
+                self.queues[w.src].popleft()
+                active.append(w)
+                live_append(w)  # fresh worms are never quiet
+                w.t_inject = clock
+                w.chain = [target]
+                w.chain_flits = [1]
+                w.flits_at_source -= 1
+                w.hops = 1
+                w.head_ready_at = clock + hdr_latency
+                if rec:
+                    injected_flits[w.src] += 1
+                    ch_flits[target] += 1
+                if tracer is not None:
+                    tracer.record(clock, "inject", w.pid, w.src, w.dst, target)
+                if w.flits_at_source == 0:
+                    self.injection_occ[w.src] = FREE
+                    wheel.wake(w.src)
+            else:  # in-network hop
+                occ[target] = w.pid
+                w.chain.insert(0, target)
+                w.chain_flits.insert(0, 1)
+                w.chain_flits[1] -= 1
+                w.hops += 1
+                w.head_ready_at = clock + hdr_latency
+                shifted.add(w.pid)
+                if rec:
+                    ch_flits[target] += 1
+                if tracer is not None:
+                    tracer.record(clock, "hop", w.pid, w.src, w.dst, target)
+
+        for w, kind, i in body_plans:
+            cf = w.chain_flits
+            if kind == 0:  # consume
+                cf[0] -= 1
+                w.consumed += 1
+                if rec:
+                    consumed_flits[w.dst] += 1
+            elif kind == 1:  # advance
+                j = i + 1 if w.pid in shifted else i
+                cf[j + 1] -= 1
+                cf[j] += 1
+                if rec:
+                    ch_flits[w.chain[j]] += 1
+            else:  # feed from source (always targets the tail channel)
+                j = len(cf) - 1
+                w.flits_at_source -= 1
+                cf[j] += 1
+                if rec:
+                    injected_flits[w.src] += 1
+                    ch_flits[w.chain[j]] += 1
+                if w.flits_at_source == 0:
+                    self.injection_occ[w.src] = FREE
+                    wheel.wake(w.src)
+
+        # -- phase 4: tail releases and completions ---------------------
+        # Only worms that moved this clock (or were touched by a fault
+        # hook, which clears their quiescence) can drain or finish —
+        # exactly the rebuilt live list.  Drains are per-worm
+        # independent, so live order is fine; completion *emission*
+        # (latency lists, retry scheduling, trace) must follow active
+        # order, restored below on the rare multi-finish clock.
+        finished: List[Worm] = []
+        for w in new_live:
+            if w.t_inject is None:
+                continue
+            while (
+                w.chain
+                and w.flits_at_source == 0
+                and w.chain_flits[-1] == 0
+                and not (len(w.chain) == 1 and not w.consuming)
+            ):
+                cid = w.chain.pop()
+                w.chain_flits.pop()
+                occ[cid] = FREE
+            if w.consuming and w.consumed == w.length:
+                w.t_done = clock
+                w.quiet = True  # retire: evicts any stale live entry
+                self.consume_occ[w.dst] = FREE
+                finished.append(w)
+        if finished:
+            done_ids = {w.pid for w in finished}
+            if len(finished) > 1:
+                finished = [w for w in active if w.pid in done_ids]
+            for w in finished:
+                if w.corrupted:
+                    stats.on_corrupted()
+                    if self.faults is not None:
+                        self.faults.on_packet_failure(self, w)
+                else:
+                    stats.on_delivered(
+                        latency=w.t_done - w.t_gen,
+                        header_latency=(w.t_head_arrival or clock) - w.t_gen,
+                        hops=w.hops,
+                    )
+                if tracer is not None:
+                    tracer.record(clock, "done", w.pid, w.src, w.dst)
+            self.active = [w for w in self.active if w.pid not in done_ids]
+            for w in finished:
+                self.worms.pop(w.pid, None)
+        return bool(grants) or bool(body_plans)
+
     def _select(self, avail: List[int]) -> int:
         """Pick one free candidate per the configured selection policy.
 
@@ -389,17 +823,17 @@ class WormholeSimulator:
         return avail[int(self.rng.integers(len(avail)))]
 
     def _generate_packets(self) -> None:
-        cfg = self.config
-        p = cfg.packet_probability
+        p = self._gen_p
         if p <= 0.0:
             return
-        n = self.topology.n
+        hits = np.nonzero(self.rng.random(self._n) < p)[0]
+        if hits.size == 0:
+            return
+        cfg = self.config
         dead_switches = (
             self.faults.dead_switches if self.faults is not None else ()
         )
-        hits = np.nonzero(self.rng.random(n) < p)[0]
-        for s in hits:
-            s = int(s)
+        for s in hits.tolist():
             if s in dead_switches:
                 continue  # a failed switch generates nothing
             if cfg.max_queue is not None and len(self.queues[s]) >= cfg.max_queue:
@@ -494,11 +928,18 @@ class WormholeSimulator:
                         self.channel_occ[c] = FREE
                     if self.injection_occ[w.src] == w.pid:
                         self.injection_occ[w.src] = FREE
+                        self._wheel.wake(w.src)
                     w.chain = w.chain[: k + 1]
                     w.chain_flits = kept
                     w.flits_at_source = 0
                     w.length = w.consumed + sum(kept)
                     w.corrupted = True
+                    # truncation rewrote the buffer state: rescan, and
+                    # the memoized header request may predate the cut
+                    self._wake_worm(w)
+                    w.hdr_req = None
+                    self._req_cache = None
+                    self._req_dirty_until = self.clock + self._hdr_latency
                     if self.tracer is not None:
                         self.tracer.record(
                             self.clock, "truncate", w.pid, w.src, w.dst
@@ -609,10 +1050,15 @@ class WormholeSimulator:
             self.consume_occ[w.dst] = FREE
         if self.injection_occ[w.src] == w.pid:
             self.injection_occ[w.src] = FREE
+            self._wheel.wake(w.src)
         w.chain = []
         w.chain_flits = []
         self.active.remove(w)
         self.worms.pop(w.pid, None)
+        w.quiet = True  # retire: evicts any stale live entry
+        w.hdr_req = None
+        self._req_cache = None
+        self._req_dirty_until = self.clock + self._hdr_latency
         if self.tracer is not None:
             self.tracer.record(self.clock, "drop", w.pid, w.src, w.dst)
 

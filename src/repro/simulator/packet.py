@@ -38,6 +38,8 @@ class Worm:
         "corrupted",
         "attempts",
         "logical_id",
+        "quiet",
+        "hdr_req",
     )
 
     def __init__(self, pid: int, src: int, dst: int, length: int, t_gen: int) -> None:
@@ -75,6 +77,12 @@ class Worm:
         self.consuming = False
         #: network hops taken by the header (chain acquisitions)
         self.hops = 0
+        #: fast-path scheduler flag: no body move possible until the
+        #: next grant (maintained by the engines' active-set step)
+        self.quiet = False
+        #: fast-path memo of this worm's header request while blocked;
+        #: ``None`` when stale (cleared on grants and epoch changes)
+        self.hdr_req = None
 
     # ------------------------------------------------------------------
     def total_flits_held(self) -> int:

@@ -37,12 +37,19 @@ Two VC allocation policies (:class:`VcPolicy`):
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.routing.base import RoutingFunction
 from repro.routing.duato import DuatoRouting
 from repro.simulator.config import SimulationConfig
+from repro.simulator.fastpath import (
+    DecisionCache,
+    InjectionWheel,
+    NotifyingDeque,
+    ObservedSet,
+)
 from repro.simulator.packet import Worm
 from repro.simulator.stats import SimulationStats, StatsCollector
 from repro.simulator.traffic import TrafficPattern, UniformTraffic
@@ -85,7 +92,7 @@ class VirtualChannelSimulator:
         self.duato = isinstance(routing, DuatoRouting)
         if self.duato and num_vcs < 2:
             raise ValueError("duato routing needs at least 2 virtual channels")
-        self.routing = routing
+        self._routing = routing
         self.topology = (
             routing.escape.topology if self.duato else routing.topology
         )
@@ -101,16 +108,87 @@ class VirtualChannelSimulator:
         self._sink = [ch.sink for ch in self.topology.channels]
         self.injection_occ = [FREE] * n
         self.consume_occ = [FREE] * n
-        self.queues: List[Deque[Worm]] = [deque() for _ in range(n)]
+        #: event wheel over sources with pending injections (fast path)
+        self._wheel = InjectionWheel()
+        self.queues: List[Deque[Worm]] = [
+            NotifyingDeque(self._wheel, s) for s in range(n)
+        ]
         self.active: List[Worm] = []
         self.clock = 0
         self._next_pid = 0
         self.stats = StatsCollector(self.topology)
         self._check_invariants = False
-        #: *physical* channels killed by a live fault
-        self.dead_channels: set = set()
+        #: *physical* channels killed by a live fault.  Mutations
+        #: invalidate the decision caches automatically.
+        self.dead_channels: set = ObservedSet(self._invalidate_decisions)
         #: optional :class:`repro.faults.FaultRuntime`
         self.faults = None
+        #: per-epoch routing-decision caches over *physical* channels
+        #: (dead channels pre-filtered); the ``duato`` policy keeps a
+        #: second cache for its escape layer
+        self._escape_cache: Optional[DecisionCache] = None
+        if self.duato:
+            self.decision_cache = DecisionCache(routing.adaptive, self.dead_channels)
+            self._escape_cache = DecisionCache(routing.escape, self.dead_channels)
+        else:
+            self.decision_cache = DecisionCache(routing, self.dead_channels)
+        #: per-clock config constants, hoisted out of the clock loop
+        self._gen_p = config.packet_probability
+        self._deadlock_interval = config.deadlock_interval
+        self._cap = config.buffer_flits
+        self._hdr_latency = config.header_delay + config.link_delay
+        self._n = n
+        #: memoized in-network header-request list and the last clock
+        #: of its dirty window (fast path); see the base engine
+        self._req_cache: Optional[List[tuple]] = None
+        self._req_dirty_until = -1
+        self._move_impl = (
+            self._move_fast if getattr(config, "fast_path", True) else self._move
+        )
+
+    # ------------------------------------------------------------------
+    # routing tables (epoch-atomic swap point)
+    # ------------------------------------------------------------------
+    @property
+    def routing(self):
+        """The installed routing tables (or :class:`DuatoRouting` pair)."""
+        return self._routing
+
+    @routing.setter
+    def routing(self, routing) -> None:
+        """Install new tables and atomically start a new decision epoch."""
+        self._routing = routing
+        self.duato = isinstance(routing, DuatoRouting)
+        cache = getattr(self, "decision_cache", None)
+        if cache is None:
+            return
+        if self.duato:
+            cache.attach(routing.adaptive)
+            if self._escape_cache is None:
+                self._escape_cache = DecisionCache(
+                    routing.escape, self.dead_channels
+                )
+            else:
+                self._escape_cache.attach(routing.escape)
+        else:
+            cache.attach(routing)
+        self._drop_worm_memos()
+
+    def _invalidate_decisions(self) -> None:
+        """Dead-channel set changed: drop every cached decision row."""
+        cache = getattr(self, "decision_cache", None)
+        if cache is not None:
+            cache.invalidate()
+            if self._escape_cache is not None:
+                self._escape_cache.invalidate()
+            self._drop_worm_memos()
+
+    def _drop_worm_memos(self) -> None:
+        """Clear every memoized header request (epoch change)."""
+        for w in self.active:
+            w.hdr_req = None
+        self._req_cache = None
+        self._req_dirty_until = self.clock + self._hdr_latency
 
     # -- vc id helpers ---------------------------------------------------
     def phys(self, vcid: int) -> int:
@@ -181,13 +259,17 @@ class VirtualChannelSimulator:
     # -- public driver ----------------------------------------------------
     def run(self) -> SimulationStats:
         """Run warmup + measurement and return window statistics."""
+        step = self.step
         for _ in range(self.config.warmup_clocks):
-            self.step()
-        self.stats.active = True
+            step()
+        stats = self.stats
+        stats.active = True
+        sample_timeline = stats.timeline_interval > 0
         for _ in range(self.config.measure_clocks):
-            self.step()
-            self.stats.window_clocks += 1
-            self.stats.on_tick()
+            step()
+            stats.window_clocks += 1
+            if sample_timeline:
+                stats.on_tick()
         reconfigs = self.faults.records if self.faults is not None else ()
         return self.stats.finalize(
             sum(len(q) for q in self.queues), reconfigurations=reconfigs
@@ -216,8 +298,8 @@ class VirtualChannelSimulator:
         """Advance one clock."""
         if self.faults is not None:
             self.faults.on_clock(self)
-        self._move()
-        interval = self.config.deadlock_interval
+        self._move_impl()
+        interval = self._deadlock_interval
         if interval and self.clock % interval == interval - 1:
             dead = self.find_deadlocked_worms()
             if dead:
@@ -233,6 +315,13 @@ class VirtualChannelSimulator:
 
     # -- internals ----------------------------------------------------------
     def _move(self) -> None:
+        """One clock of flit movement — the seed *reference* implementation.
+
+        Kept verbatim as the behavioural oracle: the fast path
+        (:meth:`_move_fast`) must replay this function's decisions —
+        every RNG draw, every grant, every committed flit — byte for
+        byte, which the differential golden suite enforces.
+        """
         cap = self.config.buffer_flits
         V = self.V
         clock = self.clock
@@ -403,19 +492,360 @@ class VirtualChannelSimulator:
             done = {w.pid for w in finished}
             self.active = [w for w in self.active if w.pid not in done]
 
+    def _move_fast(self) -> None:
+        """One clock of flit movement — the fast-path implementation.
+
+        Byte-identical to :meth:`_move` for any fixed seed (same
+        request and plan lists, same grants, same RNG draws in the same
+        order), organised around the same active-set machinery as the
+        base engine's fast path:
+
+        * the in-network header-request list is rebuilt (in active
+          order — the arbitration RNG permutes its indices) only inside
+          the dirty window opened by grants, fault mutations and epoch
+          swaps, with each blocked worm's request memoized on the worm;
+        * requests bake the *physical* candidate rows from the
+          per-epoch decision caches (adaptive + escape under ``duato``);
+          only the per-clock free-VC filtering stays in the grant loop;
+        * idle sources live on the injection event wheel;
+        * body plans are built over the non-quiet worms only.  Plan
+          *order* must match the reference exactly (commits contend for
+          the shared physical-link budgets), so the scan keeps active
+          order and merely skips parked worms — a quiet worm contributes
+          zero plans by construction, leaving the list identical;
+        * releases/completions visit only worms that could have moved
+          this clock (the non-quiet ones), preserving active order so
+          the delivery sample sequences stay byte-identical.
+        """
+        cap = self._cap
+        V = self.V
+        clock = self.clock
+        stats = self.stats
+        occ = self.vc_occ
+        sink = self._sink
+        active = self.active
+        rec = stats.active
+        ch_flits = stats.channel_flits
+        consumed_flits = stats.consumed_flits
+        injected_flits = stats.injected_flits
+        duato = self.duato
+        rng = self.rng
+
+        # physical-channel receive/send budgets for this clock
+        recv_used: set = set()
+        send_used: set = set()
+
+        # -- header requests on start-of-clock state --------------------
+        cache = self.decision_cache
+        esc_cache = self._escape_cache
+        in_net = self._req_cache
+        if in_net is None or clock <= self._req_dirty_until:
+            next_rows = cache._next_rows
+            in_net = []
+            req_append = in_net.append
+            for w in active:
+                req = w.hdr_req
+                if req is not None:
+                    req_append(req)
+                    continue
+                if w.consuming or not w.chain or w.head_ready_at > clock:
+                    continue
+                head = w.chain[0]
+                p_head = head // V
+                dst = w.dst
+                if sink[p_head] == dst:
+                    req = (w, -2, p_head)  # consumption request
+                elif not duato:
+                    row = next_rows[dst]
+                    if row is None:
+                        row = cache.next_row(dst)
+                    req = (w, head, row[p_head])
+                elif head % V == 0:
+                    # on the escape layer: stay on escape
+                    erow = esc_cache._next_rows[dst]
+                    if erow is None:
+                        erow = esc_cache.next_row(dst)
+                    req = (w, head, ((), erow[p_head]))
+                else:
+                    arow = next_rows[dst]
+                    if arow is None:
+                        arow = cache.next_row(dst)
+                    erow = esc_cache._first_rows[dst]
+                    if erow is None:
+                        erow = esc_cache.first_row(dst)
+                    req = (w, head, (arow[p_head], erow[sink[p_head]]))
+                w.hdr_req = req
+                req_append(req)
+            self._req_cache = in_net
+        # injection requests from the event wheel, in ascending source
+        # order (matching the reference's full enumerate scan)
+        wheel = self._wheel
+        timers = wheel._timers
+        if timers and timers[0][0] <= clock:
+            wheel.advance(clock)
+        inj_reqs: List[tuple] = []
+        if wheel.pending:
+            first_rows = cache._first_rows
+            inj_occ = self.injection_occ
+            queues = self.queues
+            for s in sorted(wheel.pending):
+                q = queues[s]
+                if not q:
+                    wheel.sleep(s)
+                    continue
+                if inj_occ[s] != FREE:
+                    # no injection credit: woken when the port frees
+                    wheel.sleep(s)
+                    continue
+                w = q[0]
+                if w.head_ready_at > clock:
+                    wheel.park_until(s, w.head_ready_at)
+                    continue
+                dst = w.dst
+                if not duato:
+                    row = first_rows[dst]
+                    if row is None:
+                        row = cache.first_row(dst)
+                    inj_reqs.append((w, -1, row[s]))
+                else:
+                    arow = first_rows[dst]
+                    if arow is None:
+                        arow = cache.first_row(dst)
+                    erow = esc_cache._first_rows[dst]
+                    if erow is None:
+                        erow = esc_cache.first_row(dst)
+                    inj_reqs.append((w, -1, (arow[s], erow[s])))
+        requests = in_net + inj_reqs if inj_reqs else in_net
+
+        # -- header grants, committed inline under the link budgets -----
+        hdr_latency = self._hdr_latency
+        consume_occ = self.consume_occ
+        shifted: set = set()
+        any_grant = False
+        if requests:
+            order = rng.permutation(len(requests)).tolist()
+            for req in map(requests.__getitem__, order):
+                w, origin, cands = req
+                if origin == -2:  # consumption
+                    dst = w.dst
+                    if consume_occ[dst] == FREE:
+                        consume_occ[dst] = w.pid
+                        any_grant = True
+                        w.quiet = False
+                        w.hdr_req = None
+                        w.consuming = True
+                        w.t_head_arrival = clock
+                        w.chain_flits[0] -= 1
+                        w.consumed += 1
+                        # the header flit leaves its physical channel
+                        send_used.add(cands)
+                        if rec:
+                            consumed_flits[dst] += 1
+                    continue
+                if origin >= 0:
+                    p_head = origin // V
+                    if p_head in send_used:
+                        continue
+                # admissible free VCs in reference order (dead physical
+                # channels are pre-filtered by the cached rows)
+                avail: List[int] = []
+                if not duato:
+                    for c in cands:
+                        if c in recv_used:
+                            continue
+                        base = c * V
+                        for vci in range(base, base + V):
+                            if occ[vci] == FREE:
+                                avail.append(vci)
+                else:
+                    adapt, esc = cands
+                    for c in adapt:
+                        if c in recv_used:
+                            continue
+                        base = c * V
+                        for vci in range(base + 1, base + V):
+                            if occ[vci] == FREE:
+                                avail.append(vci)
+                    for c in esc:
+                        if c in recv_used:
+                            continue
+                        ev = c * V
+                        if occ[ev] == FREE:
+                            avail.append(ev)
+                if not avail:
+                    continue
+                pick = (
+                    avail[int(rng.integers(len(avail)))]
+                    if len(avail) > 1
+                    else avail[0]
+                )
+                any_grant = True
+                p_pick = pick // V
+                recv_used.add(p_pick)
+                occ[pick] = w.pid
+                if rec:
+                    ch_flits[p_pick] += 1
+                if origin == -1:  # injection
+                    self.injection_occ[w.src] = w.pid
+                    self.queues[w.src].popleft()
+                    active.append(w)
+                    w.t_inject = clock
+                    w.chain = [pick]
+                    w.chain_flits = [1]
+                    w.flits_at_source -= 1
+                    w.hops = 1
+                    if rec:
+                        injected_flits[w.src] += 1
+                    if w.flits_at_source == 0:
+                        self.injection_occ[w.src] = FREE
+                        wheel.wake(w.src)
+                else:  # in-network hop
+                    w.quiet = False
+                    w.hdr_req = None
+                    send_used.add(p_head)
+                    w.chain.insert(0, pick)
+                    w.chain_flits.insert(0, 1)
+                    w.chain_flits[1] -= 1
+                    w.hops += 1
+                    shifted.add(w.pid)
+                w.head_ready_at = clock + hdr_latency
+        if any_grant:
+            # granted headers leave (or re-time) the request set now
+            # and re-enter it after their routing delay
+            self._req_cache = None
+            self._req_dirty_until = clock + hdr_latency
+
+        # -- body plans over the non-quiet worms ------------------------
+        # kinds: 0 = consume, 1 = advance, 2 = feed.  Quiet worms have
+        # no possible move until their next grant, so skipping them
+        # leaves the plan list (and hence the permutation and every
+        # budget-contended commit) identical to the reference's.
+        plans: List[tuple] = []
+        plans_append = plans.append
+        visited = 0
+        for w in active:
+            if w.quiet:
+                continue
+            visited += 1
+            cf = w.chain_flits
+            pid = w.pid
+            has_plans = False
+            if pid in shifted:
+                off = 1
+            else:
+                off = 0
+                if w.consuming and cf and cf[0] > 0 and w.t_head_arrival != clock:
+                    plans_append((w, 0, 0))
+                    has_plans = True
+            for i in range(off, len(cf) - 1):
+                if cf[i + 1] > 0 and cf[i] < cap:
+                    plans_append((w, 1, i))
+                    has_plans = True
+            if w.flits_at_source > 0 and cf and cf[-1] < cap:
+                plans_append((w, 2, len(cf) - 1))
+                has_plans = True
+            if (
+                not has_plans
+                and pid not in shifted
+                and w.t_head_arrival != clock
+                and w.t_inject != clock
+            ):
+                # nothing can move until this worm's next grant
+                w.quiet = True
+        if rec:
+            stats.on_sched(visited, len(active))
+
+        # -- commit body moves under the remaining budgets --------------
+        if plans:
+            order = rng.permutation(len(plans)).tolist()
+            for plan in map(plans.__getitem__, order):
+                w, kind, i = plan
+                cf = w.chain_flits
+                if kind == 0:  # consume
+                    if cf[0] > 0:
+                        hp = w.chain[0] // V
+                        if hp not in send_used:
+                            send_used.add(hp)
+                            cf[0] -= 1
+                            w.consumed += 1
+                            if rec:
+                                consumed_flits[w.dst] += 1
+                elif kind == 1:  # advance
+                    down_p = w.chain[i] // V
+                    up_p = w.chain[i + 1] // V
+                    if (
+                        down_p not in recv_used
+                        and up_p not in send_used
+                        and cf[i + 1] > 0
+                        and cf[i] < cap
+                    ):
+                        recv_used.add(down_p)
+                        send_used.add(up_p)
+                        cf[i + 1] -= 1
+                        cf[i] += 1
+                        if rec:
+                            ch_flits[down_p] += 1
+                else:  # feed
+                    j = len(cf) - 1
+                    tail_p = w.chain[j] // V
+                    if tail_p not in recv_used and cf[j] < cap:
+                        recv_used.add(tail_p)
+                        w.flits_at_source -= 1
+                        cf[j] += 1
+                        if rec:
+                            injected_flits[w.src] += 1
+                            ch_flits[tail_p] += 1
+                        if w.flits_at_source == 0:
+                            self.injection_occ[w.src] = FREE
+                            wheel.wake(w.src)
+
+        # -- releases and completions (touched worms only) --------------
+        # only non-quiet worms can have changed state this clock, and
+        # iterating the active list keeps the delivery emission order
+        # identical to the reference's
+        finished: List[Worm] = []
+        for w in active:
+            if w.quiet:
+                continue
+            while (
+                w.chain
+                and w.flits_at_source == 0
+                and w.chain_flits[-1] == 0
+                and not (len(w.chain) == 1 and not w.consuming)
+            ):
+                vc = w.chain.pop()
+                w.chain_flits.pop()
+                occ[vc] = FREE
+            if w.consuming and w.consumed == w.length:
+                w.t_done = clock
+                consume_occ[w.dst] = FREE
+                finished.append(w)
+                if w.corrupted:
+                    stats.on_corrupted()
+                    if self.faults is not None:
+                        self.faults.on_packet_failure(self, w)
+                else:
+                    stats.on_delivered(
+                        latency=w.t_done - w.t_gen,
+                        header_latency=(w.t_head_arrival or clock) - w.t_gen,
+                        hops=w.hops,
+                    )
+        if finished:
+            done = {w.pid for w in finished}
+            self.active = [w for w in self.active if w.pid not in done]
+
     def _generate(self) -> None:
         cfg = self.config
-        p = cfg.packet_probability
+        p = self._gen_p
         if p <= 0.0:
             return
-        import numpy as np
-
+        hits = np.nonzero(self.rng.random(self._n) < p)[0]
+        if hits.size == 0:
+            return
         dead_switches = (
             self.faults.dead_switches if self.faults is not None else ()
         )
-        hits = np.nonzero(self.rng.random(self.topology.n) < p)[0]
-        for s in hits:
-            s = int(s)
+        for s in hits.tolist():
             if s in dead_switches:
                 continue
             if cfg.max_queue is not None and len(self.queues[s]) >= cfg.max_queue:
@@ -461,11 +891,18 @@ class VirtualChannelSimulator:
                         self.vc_occ[c] = FREE
                     if self.injection_occ[w.src] == w.pid:
                         self.injection_occ[w.src] = FREE
+                        self._wheel.wake(w.src)
                     w.chain = w.chain[: k + 1]
                     w.chain_flits = kept
                     w.flits_at_source = 0
                     w.length = w.consumed + sum(kept)
                     w.corrupted = True
+                    # truncation rewrote the buffer state: rescan, and
+                    # the memoized header request may predate the cut
+                    w.quiet = False
+                    w.hdr_req = None
+                    self._req_cache = None
+                    self._req_dirty_until = self.clock + self._hdr_latency
                     continue
             self._drop_worm(w)
             removed.append(w)
@@ -542,9 +979,14 @@ class VirtualChannelSimulator:
             self.consume_occ[w.dst] = FREE
         if self.injection_occ[w.src] == w.pid:
             self.injection_occ[w.src] = FREE
+            self._wheel.wake(w.src)
         w.chain = []
         w.chain_flits = []
         self.active.remove(w)
+        w.quiet = True  # retire: never rescanned
+        w.hdr_req = None
+        self._req_cache = None
+        self._req_dirty_until = self.clock + self._hdr_latency
 
     def _fault_requeue(
         self, src: int, dst: int, length: int, logical_id: int,

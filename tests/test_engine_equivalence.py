@@ -1,19 +1,178 @@
-"""Cross-engine consistency: base engine vs VC engine at num_vcs=1.
+"""Engine equivalence harnesses.
 
-With one virtual channel per physical channel the VC engine models the
-same machine as the base engine (modulo arbitration randomness), so
-their aggregate behaviour must agree closely.  These tests pin that
-equivalence — a strong mutual check of two independently written
-step functions.
+Two independent layers of cross-checking:
+
+* **Differential golden suite** (``TestFastPathDifferential``): the
+  fast-path step implementations (active-set scheduler + decision
+  cache) must replay the seed reference implementations *byte for
+  byte* — every RNG draw, every grant, every committed flit.  Each
+  scenario runs both paths under a fixed seed and compares
+  :meth:`SimulationStats.canonical_digest`, which hashes every
+  simulated-physics field of the result.
+
+* **Cross-engine consistency**: base engine vs VC engine at
+  ``num_vcs=1`` — two independently written step functions modelling
+  the same machine must agree statistically.
 """
 
 import pytest
 
 from repro.core.downup import build_down_up_routing
+from repro.faults import (
+    FaultRuntime,
+    FaultSchedule,
+    ReconfigurationController,
+    RetryPolicy,
+)
+from repro.routing.duato import build_duato_routing
 from repro.routing.updown import build_up_down_routing
-from repro.simulator import SimulationConfig, simulate, simulate_vc
+from repro.simulator import (
+    SimulationConfig,
+    VirtualChannelSimulator,
+    WormholeSimulator,
+    simulate,
+    simulate_vc,
+)
+from repro.simulator.traffic import HotspotTraffic
 from repro.topology import zoo
 from repro.topology.generator import random_irregular_topology
+
+
+# ---------------------------------------------------------------------------
+# differential golden suite: fast path == reference, byte for byte
+# ---------------------------------------------------------------------------
+def _digest_pair(make_sim, cfg):
+    """Canonical digests of one scenario under both step implementations."""
+    out = []
+    for fast in (False, True):
+        sim = make_sim(cfg.with_fast_path(fast))
+        out.append(sim.run().canonical_digest())
+    return out
+
+
+def _fault_runtime(topo, policy="drop"):
+    sched = FaultSchedule.random(
+        topo, permanent_links=2, window=(800, 2_200), rng=42
+    )
+    ctrl = ReconfigurationController(
+        lambda sub: build_down_up_routing(sub, rng=7), drain_clocks=64
+    )
+    return FaultRuntime(sched, ctrl, retry=RetryPolicy(), policy=policy)
+
+
+class TestFastPathDifferential:
+    """Golden differential scenarios: digests must match exactly."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        topo = random_irregular_topology(24, 4, rng=9)
+        return topo, build_down_up_routing(topo, rng=7)
+
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return SimulationConfig(
+            packet_length=24,
+            injection_rate=0.15,
+            warmup_clocks=600,
+            measure_clocks=3_000,
+            seed=17,
+        )
+
+    def test_base_uniform(self, net, cfg):
+        _topo, routing = net
+        a, b = _digest_pair(lambda c: WormholeSimulator(routing, c), cfg)
+        assert a == b
+
+    def test_base_hotspot(self, net, cfg):
+        topo, routing = net
+        traffic = HotspotTraffic(topo.n, hotspots=(3, 11), fraction=0.3)
+        a, b = _digest_pair(
+            lambda c: WormholeSimulator(routing, c, traffic=traffic), cfg
+        )
+        assert a == b
+
+    @pytest.mark.parametrize("policy", ["random", "first", "least-congested"])
+    def test_base_selection_policies(self, net, cfg, policy):
+        import dataclasses
+
+        _topo, routing = net
+        cfg = dataclasses.replace(cfg, selection_policy=policy)
+        a, b = _digest_pair(lambda c: WormholeSimulator(routing, c), cfg)
+        assert a == b
+
+    @pytest.mark.parametrize("policy", ["drop", "drain"])
+    def test_base_with_fault_schedule(self, net, cfg, policy):
+        topo, routing = net
+
+        def make(c):
+            sim = WormholeSimulator(routing, c)
+            sim.attach_faults(_fault_runtime(topo, policy))
+            return sim
+
+        a, b = _digest_pair(make, cfg)
+        assert a == b
+
+    def test_vc_replicate_uniform(self, net, cfg):
+        _topo, routing = net
+        a, b = _digest_pair(
+            lambda c: VirtualChannelSimulator(routing, c, num_vcs=2), cfg
+        )
+        assert a == b
+
+    def test_vc_replicate_hotspot(self, net, cfg):
+        topo, routing = net
+        traffic = HotspotTraffic(topo.n, hotspots=(5,), fraction=0.25)
+        a, b = _digest_pair(
+            lambda c: VirtualChannelSimulator(
+                routing, c, num_vcs=2, traffic=traffic
+            ),
+            cfg,
+        )
+        assert a == b
+
+    def test_vc_duato(self, net, cfg):
+        topo, routing = net
+        duato = build_duato_routing(topo, routing)
+        a, b = _digest_pair(
+            lambda c: VirtualChannelSimulator(duato, c, num_vcs=3), cfg
+        )
+        assert a == b
+
+    def test_vc_with_fault_schedule(self, net, cfg):
+        topo, routing = net
+
+        def make(c):
+            sim = VirtualChannelSimulator(routing, c, num_vcs=2)
+            sim.attach_faults(_fault_runtime(topo, "drain"))
+            return sim
+
+        a, b = _digest_pair(make, cfg)
+        assert a == b
+
+    def test_length_mix_and_bounded_queues(self, net):
+        """Length mixes and finite queues exercise extra RNG draws."""
+        _topo, routing = net
+        cfg = SimulationConfig(
+            packet_length=16,
+            injection_rate=0.2,
+            warmup_clocks=400,
+            measure_clocks=2_000,
+            seed=23,
+            length_mix=((8, 0.5), (32, 0.5)),
+            max_queue=4,
+        )
+        a, b = _digest_pair(lambda c: WormholeSimulator(routing, c), cfg)
+        assert a == b
+
+    def test_sched_telemetry_only_on_fast_path(self, net, cfg):
+        """The digest excludes scheduler telemetry, which only the fast
+        path records — occupancy must be measured, and < 1."""
+        _topo, routing = net
+        ref = WormholeSimulator(routing, cfg.with_fast_path(False)).run()
+        fast = WormholeSimulator(routing, cfg.with_fast_path(True)).run()
+        assert ref.sched_clocks == 0
+        assert fast.sched_clocks == cfg.measure_clocks
+        assert 0.0 < fast.active_set_occupancy < 1.0
 
 
 class TestUnloadedEquivalence:

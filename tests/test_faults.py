@@ -518,3 +518,193 @@ class TestRuntimeGuards:
     def test_max_stall_config_validated(self):
         with pytest.raises(ValueError, match="max_stall_clocks"):
             SimulationConfig(max_stall_clocks=0)
+
+
+# ---------------------------------------------------------------------------
+# decision-cache epochs across faults and table swaps (fast path)
+# ---------------------------------------------------------------------------
+class TestDecisionCacheEpochs:
+    """The routing-decision cache must swap atomically with the tables.
+
+    A reconfiguration (or any dead-channel change) starts a new epoch:
+    every cached candidate row and every per-worm memoized header
+    request is dropped in the same call that installs the new state, so
+    no lookup can ever mix pre- and post-swap entries.
+    """
+
+    def _loaded_sim(self, rng=9, seed=17):
+        topo = random_irregular_topology(20, 4, rng=rng)
+        routing = build_down_up_routing(topo, rng=7)
+        cfg = SimulationConfig(
+            packet_length=24, injection_rate=0.2,
+            warmup_clocks=0, measure_clocks=1, seed=seed,
+        )
+        sim = WormholeSimulator(routing, cfg)
+        for _ in range(400):
+            sim.step()
+        assert sim.active, "need worms in flight"
+        return topo, sim
+
+    def test_swap_bumps_epoch_and_drops_all_cached_state(self):
+        topo, sim = self._loaded_sim()
+        cache = sim.decision_cache
+        # populate some rows and worm memos
+        for dst in range(topo.n):
+            cache.lookup_first(dst, 0)
+        assert any(r is not None for r in cache._first_rows)
+        epoch_before = cache.epoch
+        new_routing = build_up_down_routing(topo)
+        sim._fault_swap_routing(new_routing)
+        assert cache.epoch == epoch_before + 1
+        assert cache.routing is new_routing
+        assert sim.routing is new_routing
+        # the same call dropped every cached row and every worm memo —
+        # nothing computed under the old tables can be served again
+        assert all(r is None for r in cache._next_rows)
+        assert all(r is None for r in cache._first_rows)
+        assert all(w.hdr_req is None for w in sim.active)
+        assert sim._req_cache is None
+
+    def test_dead_channel_mutation_bumps_epoch(self):
+        topo, sim = self._loaded_sim(rng=10)
+        cache = sim.decision_cache
+        cache.lookup_next(0, 0)
+        epoch = cache.epoch
+        sim.dead_channels.add(3)
+        assert cache.epoch == epoch + 1
+        assert all(r is None for r in cache._next_rows)
+        # cached rows rebuilt after the change exclude the dead channel
+        for dst in range(topo.n):
+            for cid in range(topo.num_channels):
+                assert 3 not in cache.lookup_next(dst, cid)
+        sim.dead_channels.discard(3)
+        assert cache.epoch == epoch + 2
+
+    def test_vc_engine_swap_drops_both_caches(self, ring6):
+        routing = build_up_down_routing(ring6)
+        sim = VirtualChannelSimulator(
+            routing,
+            SimulationConfig(packet_length=8, injection_rate=0.0),
+            num_vcs=2,
+        )
+        cache = sim.decision_cache
+        cache.lookup_first(0, 1)
+        epoch = cache.epoch
+        new_routing = build_down_up_routing(ring6)
+        sim._fault_swap_routing(new_routing)
+        assert cache.epoch == epoch + 1
+        assert cache.routing is new_routing
+        assert all(r is None for r in cache._first_rows)
+
+    def test_no_worm_mixes_epochs_across_live_swap(self):
+        """After every mid-flight reconfiguration, each surviving chain
+        is a path the *new* tables could have produced."""
+        topo = random_irregular_topology(20, 4, rng=11)
+        routing = build_down_up_routing(topo, rng=7)
+        cfg = SimulationConfig(
+            packet_length=24, injection_rate=0.2,
+            warmup_clocks=0, measure_clocks=1, seed=5,
+        )
+        sched = FaultSchedule.random(
+            topo, permanent_links=2, window=(200, 600), rng=12
+        )
+        ctrl = ReconfigurationController(
+            lambda sub: build_down_up_routing(sub, rng=7), drain_clocks=32
+        )
+        sim = WormholeSimulator(routing, cfg)
+        sim.attach_faults(FaultRuntime(sched, ctrl, retry=RetryPolicy()))
+        swaps_seen = 0
+        for _ in range(1_200):
+            before = len(sim.faults.records)
+            sim.step()
+            if len(sim.faults.records) > before:
+                swaps_seen += 1
+                for w in sim.active:
+                    if w.consuming or not w.chain:
+                        continue
+                    assert sim._chain_conforms(w), (
+                        f"worm {w.pid} holds a pre-swap path after the "
+                        f"epoch change"
+                    )
+        assert swaps_seen == len(sched)
+
+
+# ---------------------------------------------------------------------------
+# retry backoff and injection wheel share the engine clock
+# ---------------------------------------------------------------------------
+class TestRetryClockDomain:
+    """Regression: all fault/scheduler timing is keyed by ``engine.clock``.
+
+    The retry backoff heap and the injection event wheel carry absolute
+    engine-clock deadlines (neither keeps a private counter), so a
+    retried packet re-enters the source queue at exactly
+    ``drop_clock + backoff`` and is scheduled for injection that same
+    clock — on the reference and fast paths alike.
+    """
+
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_retry_reinjects_at_engine_clock_deadline(self, line3, fast):
+        from tests.helpers import fixed_path_routing
+
+        routing = fixed_path_routing(line3, {(0, 2): [0, 1, 2]})
+        kill_cycle, backoff = 6, 16
+        sched = FaultSchedule(
+            line3,
+            [
+                FaultEvent(cycle=kill_cycle, kind="link_down", link=(1, 2)),
+                FaultEvent(cycle=kill_cycle + 2, kind="link_up", link=(1, 2)),
+            ],
+            check=False,
+        )
+        runtime = FaultRuntime(
+            sched,
+            controller=None,
+            retry=RetryPolicy(max_retries=1, backoff_base=backoff),
+        )
+        cfg = SimulationConfig(
+            packet_length=16, injection_rate=0.0,
+            warmup_clocks=0, measure_clocks=1, seed=0,
+            fast_path=fast,
+        )
+        sim = WormholeSimulator(routing, cfg)
+        sim.stats.active = True
+        sim.attach_faults(runtime)
+        sim._fault_requeue(0, 2, 16, logical_id=0, attempts=0, t_gen=0)
+        requeue_clock = None
+        for _ in range(kill_cycle + backoff + 60):
+            sim.step()
+            if requeue_clock is None and sim.stats.retries == 1:
+                # on_clock ran at the start of this step, at clock-1
+                requeue_clock = sim.clock - 1
+        # the drop fires at kill_cycle; the retry must be released the
+        # clock the engine reaches drop + backoff, not a clock sooner
+        assert requeue_clock == kill_cycle + backoff
+        # the retried worm injects immediately (port free, link back up)
+        retried = [w for w in sim.worms.values() if w.attempts == 1]
+        assert sim.stats.delivered_packets == 1 or retried
+        if retried:
+            assert retried[0].t_inject is None or (
+                retried[0].t_inject >= requeue_clock
+            )
+
+    def test_wheel_timers_use_engine_clock(self, line3):
+        """A parked source wakes exactly when ``engine.clock`` reaches
+        the front packet's ``head_ready_at`` deadline."""
+        from repro.simulator.packet import Worm
+
+        routing = build_up_down_routing(line3)
+        cfg = SimulationConfig(
+            packet_length=4, injection_rate=0.0,
+            warmup_clocks=0, measure_clocks=1, seed=0,
+        )
+        sim = WormholeSimulator(routing, cfg)
+        sim.stats.active = True
+        w = Worm(0, 0, 2, 4, 0)
+        w.head_ready_at = 25  # not routing-ready until engine clock 25
+        sim.queues[0].append(w)
+        for _ in range(25):  # moves run at clocks 0..24
+            sim.step()
+        assert w.t_inject is None
+        assert sim._wheel.parked == 1  # on a timer, not rescanned
+        sim.step()  # move at engine clock 25: timer fires, header injects
+        assert w.t_inject == 25

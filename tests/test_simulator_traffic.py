@@ -83,7 +83,7 @@ class TestStatsCollector:
         sc.on_channel_entry(0)
         sc.on_consume(1)
         sc.on_generate()
-        assert sc.channel_flits.sum() == 0
+        assert sum(sc.channel_flits) == 0
         assert sc.generated_packets == 0
 
     def test_active_collects(self):
