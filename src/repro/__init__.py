@@ -18,7 +18,10 @@ The package provides, as libraries:
   metrics (node utilization, traffic load, hot spots, leaves
   utilization, latency/accepted traffic) and a fast static path
   analysis;
-* :mod:`repro.experiments` — one harness entry per paper table/figure.
+* :mod:`repro.experiments` — one harness entry per paper table/figure;
+* :mod:`repro.statics` — deadlock-freedom certificates, an independent
+  certificate checker, and the repo invariant linter (see
+  ``docs/static_analysis.md``).
 
 Quickstart::
 

@@ -7,6 +7,7 @@ Subcommands map one-to-one onto the paper's evaluation artefacts::
     python -m repro.experiments static-tables --preset midscale
     python -m repro.experiments campaign --preset paperlite --workers 8
     python -m repro.experiments sweep --preset quick --traffic tornado --vcs 2
+    python -m repro.experiments certify --preset quick --fault-links 2
     python -m repro.experiments erratum
     python -m repro.experiments info
 
@@ -136,6 +137,35 @@ def _parser() -> argparse.ArgumentParser:
                     help="what happens to worms crossing a dying link")
     lf.add_argument("--rate", type=float, default=None,
                     help="offered load (default: preset's lowest rate)")
+
+    cf = sub.add_parser(
+        "certify",
+        help="emit deadlock-freedom certificates and re-check them with "
+        "the independent checker",
+    )
+    cf.add_argument(
+        "--preset", default="quick", choices=sorted(PRESETS),
+        help="scale preset (default: quick)",
+    )
+    cf.add_argument("--ports", type=int, default=4)
+    cf.add_argument("--switches", type=int, default=None,
+                    help="override the preset's switch count")
+    cf.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["down-up", "l-turn", "up-down"],
+        choices=sorted(ALGORITHMS),
+        help="algorithms to certify (default: all three of the paper)",
+    )
+    cf.add_argument("--out", type=Path, default=None,
+                    help="write <algorithm>.cert.json files here")
+    cf.add_argument("--fault-links", type=int, default=0,
+                    help="also pre-flight-certify every table a random "
+                    "fault schedule with this many link failures induces")
+    cf.add_argument("--fault-seed", type=int, default=42,
+                    help="seed of the pre-flight fault schedule")
+    cf.add_argument("--quiet", action="store_true",
+                    help="suppress progress lines")
 
     sub.add_parser("erratum", help="demonstrate the Section 4.3 PT erratum")
     sub.add_parser("info", help="list presets and algorithms")
@@ -329,6 +359,80 @@ def _cmd_live_faults(args) -> int:
     return 0
 
 
+def _cmd_certify(args) -> int:
+    from repro.experiments.harness import make_topology, make_tree
+    from repro.faults import FaultSchedule
+    from repro.statics import certify_routing, preflight_schedule, recheck
+    from repro.util.rng import derive_seed
+    from repro.util.tables import format_table
+
+    preset = get_preset(args.preset)
+    if args.switches:
+        preset = preset.scaled(n_switches=args.switches)
+    topology = make_topology(preset, args.ports, sample=0)
+    tree = make_tree(topology, "M1", preset, 0)
+    progress = _progress(args.quiet)
+
+    rows = []
+    first_builder = None
+    for alg in args.algorithms:
+        builder = ALGORITHMS[alg]
+        seed = derive_seed(preset.seed, 0xCE47, ord(alg[0]))
+        routing = builder(topology, tree=tree, rng=seed)
+        if first_builder is None:
+            first_builder = (alg, builder, seed)
+        bundle = certify_routing(routing, algorithm=alg)
+        report = recheck(bundle)
+        progress(f"[certify] {report.summary()}")
+        rows.append(
+            [
+                alg,
+                report.num_channels,
+                report.dependency_edges,
+                report.witness_pairs,
+                report.progress_states,
+                bundle.digest[:23],
+            ]
+        )
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            name = alg.replace("/", "-")
+            (args.out / f"{name}.cert.json").write_text(
+                bundle.to_json() + "\n", encoding="utf-8"
+            )
+    print()
+    print(
+        format_table(
+            ["algorithm", "channels", "cdg edges", "witness paths",
+             "progress states", "digest"],
+            rows,
+            title=f"independently re-checked certificates: {topology}",
+        )
+    )
+
+    if args.fault_links > 0:
+        schedule = FaultSchedule.random(
+            topology,
+            permanent_links=args.fault_links,
+            window=(0, 10_000),
+            rng=args.fault_seed,
+        )
+        alg, builder, seed = first_builder
+        entries = preflight_schedule(
+            schedule,
+            lambda sub: builder(sub, tree=None, rng=seed),
+            progress=progress,
+        )
+        print()
+        print(
+            f"pre-flight: every table the fault schedule induces is "
+            f"certified ({len(entries)} degraded state(s), {alg})"
+        )
+        for e in entries:
+            print(f"  {e.state.describe()} -> {e.bundle.digest[:23]}")
+    return 0
+
+
 def _cmd_erratum() -> int:
     from repro.core.communication_graph import CommunicationGraph
     from repro.core.coordinated_tree import build_coordinated_tree
@@ -391,6 +495,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "live-faults":
         return _cmd_live_faults(args)
+    if args.command == "certify":
+        return _cmd_certify(args)
     if args.command == "erratum":
         return _cmd_erratum()
     if args.command == "info":

@@ -17,12 +17,12 @@ EXPERIMENTS.md::
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.configs import ExperimentPreset
+from repro.util.wallclock import Clock, resolve_clock
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.report import (
     render_all_tables,
@@ -53,6 +53,7 @@ def run_campaign(
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     include_static: bool = True,
+    clock: Optional[Clock] = None,
 ) -> List[StageResult]:
     """Generate every paper artefact for *preset* into *out_dir*.
 
@@ -65,11 +66,14 @@ def run_campaign(
     4. ``static-tables`` — the exact static cross-check.
 
     A ``manifest.json`` records preset parameters, stage timings and
-    the winner summary, so the directory is self-describing.
+    the winner summary, so the directory is self-describing.  *clock*
+    injects the stage timer (defaults to the real wall clock); tests
+    pass a fake for deterministic timings.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     say = progress or (lambda msg: None)
+    tick = resolve_clock(clock)
     results: List[StageResult] = []
 
     def stage(name: str, artefacts: Sequence[str], fn: Callable[[], None]) -> None:
@@ -78,10 +82,10 @@ def run_campaign(
             results.append(StageResult(name, True, 0.0, list(artefacts)))
             return
         say(f"[campaign] {name}: running")
-        t0 = time.perf_counter()
+        t0 = tick()
         fn()
         results.append(
-            StageResult(name, False, time.perf_counter() - t0, list(artefacts))
+            StageResult(name, False, tick() - t0, list(artefacts))
         )
 
     manifest: Dict[str, object] = {

@@ -140,13 +140,26 @@ class ReconfigurationController:
     drain_clocks:
         Clocks the engine waits between the fault and the table swap,
         letting in-flight worms drain before stranded ones are ejected.
+    certify:
+        Emit a deadlock-freedom certificate for every rebuilt table and
+        re-validate it with the *independent* checker
+        (:mod:`repro.statics.check`) before the swap (default).  The
+        certificate's digest lands in ``meta["certificate_digest"]`` so
+        the fault runtime can log exactly which certified table it
+        installed.  Disable only in tight benchmark loops.
     """
 
-    def __init__(self, builder: RoutingBuilder, drain_clocks: int = 64) -> None:
+    def __init__(
+        self,
+        builder: RoutingBuilder,
+        drain_clocks: int = 64,
+        certify: bool = True,
+    ) -> None:
         if drain_clocks < 0:
             raise ValueError("drain_clocks must be >= 0")
         self.builder = builder
         self.drain_clocks = drain_clocks
+        self.certify = certify
 
     def rebuild(
         self,
@@ -159,12 +172,28 @@ class ReconfigurationController:
 
         Every rebuilt table passes through Theorem-1 verification
         (:func:`verify_routing`) *before* remapping — an unverified
-        table never reaches a running engine.
+        table never reaches a running engine.  With ``certify`` a
+        deadlock-freedom certificate is additionally emitted on the
+        survivor routing and re-validated by the independent checker;
+        its digest is recorded in ``meta["certificate_digest"]``.
         """
         sub, live = surviving_topology(topology, dead_links, dead_switches)
         routing = verify_routing(self.builder(sub))
+        cert_digest = ""
+        if self.certify:
+            # imported lazily: repro.statics imports this module for the
+            # pre-flight sweep, so a top-level import would be circular
+            from repro.statics.certificates import certify_routing
+            from repro.statics.check import recheck
+
+            bundle = certify_routing(routing)
+            recheck(bundle)
+            cert_digest = bundle.digest
         remapped = remap_routing(routing, topology, live)
         remapped.meta["verified"] = True
+        if cert_digest:
+            remapped.meta["certificate_digest"] = cert_digest
+            remapped.meta["certificate_checked"] = True
         if tag:
             remapped.meta["reconfiguration"] = tag
         return remapped

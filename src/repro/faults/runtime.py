@@ -72,7 +72,14 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class ReconfigurationRecord:
-    """One completed online routing-table swap (for the run's stats)."""
+    """One completed online routing-table swap (for the run's stats).
+
+    ``certificate_digest`` / ``certificate_checked`` record the
+    deadlock-freedom certificate the controller emitted for the
+    installed table and whether the *independent* checker
+    (:mod:`repro.statics.check`) re-validated it — empty/False when the
+    controller ran with ``certify=False``.
+    """
 
     trigger_clock: int
     swap_clock: int
@@ -80,6 +87,8 @@ class ReconfigurationRecord:
     ejected_worms: int
     cancelled_packets: int
     verified: bool
+    certificate_digest: str = ""
+    certificate_checked: bool = False
 
 
 class FaultRuntime:
@@ -216,6 +225,12 @@ class FaultRuntime:
                 ejected_worms=len(ejected),
                 cancelled_packets=len(cancelled),
                 verified=bool(routing.meta.get("verified", False)),
+                certificate_digest=str(
+                    routing.meta.get("certificate_digest", "")
+                ),
+                certificate_checked=bool(
+                    routing.meta.get("certificate_checked", False)
+                ),
             )
         )
         self._swap_due = None

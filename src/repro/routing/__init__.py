@@ -53,6 +53,7 @@ from repro.routing.verification import (
     VerificationError,
     assert_connected,
     assert_deadlock_free,
+    assert_progress,
     verify_routing,
 )
 
@@ -81,5 +82,6 @@ __all__ = [
     "VerificationError",
     "assert_connected",
     "assert_deadlock_free",
+    "assert_progress",
     "verify_routing",
 ]

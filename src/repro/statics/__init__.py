@@ -1,0 +1,82 @@
+"""Static verification: certificates, an independent checker, a linter.
+
+Theorem 1 is enforced at run time by
+:func:`repro.routing.verification.verify_routing`, but that check shares
+its traversal code (:mod:`repro.routing.channel_graph`) with the
+builders it polices — a bug there could self-certify a cyclic routing
+function, exactly the failure mode the paper's Section 4.3
+transcription error warns about.  This package closes the loop with the
+*certifying algorithms* discipline:
+
+``certificates``
+    :func:`certify_routing` emits a serializable, digest-stamped
+    :class:`CertificateBundle` — an explicit topological order of the
+    turn-restricted channel dependency graph (deadlock freedom, the
+    Dally-Seitz condition), one witness path per ordered switch pair
+    (connectivity), and distance-decrease witnesses (progress).
+``check``
+    An independent re-checker that validates a certificate against only
+    the raw topology adjacency and turn prohibitions.  It imports
+    nothing from :mod:`repro.routing` or :mod:`repro.core`, so a bug in
+    the construction stack cannot certify itself.
+``preflight``
+    Enumerates every degraded state a
+    :class:`~repro.faults.schedule.FaultSchedule` can induce and
+    certifies the rebuilt routing for each *before* any simulation
+    cycles are burnt.
+``lint``
+    An AST-based invariant linter with repo-specific rules (engine
+    clock only, RNG through :mod:`repro.util.rng`, routing tables
+    written only by builders, builders wrapped in ``verify_routing``),
+    run in CI as the ``static-analysis`` job.
+"""
+
+from repro.statics.certificates import (
+    CERT_FORMAT,
+    CertificateBundle,
+    ConnectivityCertificate,
+    DeadlockFreedomCertificate,
+    ProgressCertificate,
+    certify_routing,
+    compute_digest,
+)
+from repro.statics.check import (
+    CertificateError,
+    CheckFailure,
+    CheckReport,
+    check_certificate,
+    recheck,
+)
+from repro.statics.preflight import (
+    FaultState,
+    PreflightEntry,
+    induced_fault_states,
+    preflight_schedule,
+)
+from repro.statics.lint import (
+    Violation,
+    lint_file,
+    lint_paths,
+)
+
+__all__ = [
+    "CERT_FORMAT",
+    "CertificateBundle",
+    "ConnectivityCertificate",
+    "DeadlockFreedomCertificate",
+    "ProgressCertificate",
+    "certify_routing",
+    "compute_digest",
+    "CertificateError",
+    "CheckFailure",
+    "CheckReport",
+    "check_certificate",
+    "recheck",
+    "FaultState",
+    "PreflightEntry",
+    "induced_fault_states",
+    "preflight_schedule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+]

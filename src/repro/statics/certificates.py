@@ -1,0 +1,326 @@
+"""Deadlock-freedom certificates (the builder side).
+
+A *certificate* turns ``verify_routing``'s pass/fail verdict into an
+explicit, serializable witness that a trivially simple checker can
+re-validate (certifying-algorithms discipline; cf. the Dally-Seitz
+acyclicity condition and Duato's escape-channel condition):
+
+* :class:`DeadlockFreedomCertificate` — a topological order of the
+  turn-restricted channel dependency graph.  Acyclicity follows from
+  the order's existence; the checker only has to confirm that every
+  allowed dependency edge points forward in the order.
+* :class:`ConnectivityCertificate` — one admissible witness path per
+  ordered switch pair.  Connectivity follows from the paths existing;
+  the checker only has to walk each one and confirm every turn is
+  allowed.
+* :class:`ProgressCertificate` — the remaining-distance table plus one
+  strictly-decreasing witness hop per en-route state, ruling out
+  stranding and (with acyclicity) livelock.
+
+The bundle also embeds the raw facts the claims are *about* — the
+topology's link list and the turn prohibitions (class matrices plus
+per-node released turns) — and is stamped with a SHA-256 digest over
+its canonical JSON, so a certificate can be archived next to results
+and re-audited later by :mod:`repro.statics.check`, which shares no
+traversal code with this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.routing.base import RoutingFunction
+from repro.routing.channel_graph import dependency_adjacency
+from repro.routing.verification import VerificationError
+
+CERT_FORMAT = "repro-cert-v1"
+
+
+def compute_digest(payload: Mapping[str, object]) -> str:
+    """SHA-256 over the canonical JSON of *payload* (digest key excluded)."""
+    body = {k: v for k, v in payload.items() if k != "digest"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class DeadlockFreedomCertificate:
+    """A topological order of the channel dependency graph.
+
+    ``order`` lists every channel id exactly once; the claim is that
+    every allowed dependency ``a -> b`` has ``a`` before ``b``.
+    ``released_turns`` echoes the per-node Phase-3 class releases
+    ``(switch, cls_in, cls_out)`` and ``released_pairs`` the
+    channel-pair-granular ones, so an auditor sees exactly which
+    prohibitions were lifted relative to the base matrix.
+    """
+
+    order: Tuple[int, ...]
+    released_turns: Tuple[Tuple[int, int, int], ...] = ()
+    released_pairs: Tuple[Tuple[int, int], ...] = ()
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "order": list(self.order),
+            "released_turns": [list(t) for t in self.released_turns],
+            "released_pairs": [list(p) for p in self.released_pairs],
+        }
+
+
+@dataclass(frozen=True)
+class ConnectivityCertificate:
+    """One admissible witness path (channel-id sequence) per ordered pair."""
+
+    witnesses: Tuple[Tuple[int, int, Tuple[int, ...]], ...]
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "witnesses": [[s, d, list(path)] for s, d, path in self.witnesses]
+        }
+
+
+@dataclass(frozen=True)
+class ProgressCertificate:
+    """Distance table + one strictly-decreasing witness hop per state.
+
+    ``dist[d][c]`` is the remaining hop count after traversing channel
+    ``c`` toward destination ``d`` (``unreachable`` when none); each
+    witness ``(d, c, b)`` claims ``b`` is an allowed continuation with
+    ``dist[d][b] == dist[d][c] - 1``.
+    """
+
+    unreachable: int
+    dist: Tuple[Tuple[int, ...], ...]
+    witnesses: Tuple[Tuple[int, int, int], ...]
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "unreachable": self.unreachable,
+            "dist": [list(row) for row in self.dist],
+            "witnesses": [list(w) for w in self.witnesses],
+        }
+
+
+@dataclass(frozen=True)
+class CertificateBundle:
+    """Everything a checker needs: raw facts, claims, witnesses, digest."""
+
+    algorithm: str
+    n: int
+    links: Tuple[Tuple[int, int], ...]
+    channel_class: Tuple[int, ...]
+    class_names: Tuple[str, ...]
+    base_allowed: Tuple[Tuple[bool, ...], ...]
+    node_overrides: Mapping[int, Tuple[Tuple[bool, ...], ...]]
+    pair_exceptions: Tuple[Tuple[int, int], ...]
+    deadlock: DeadlockFreedomCertificate
+    connectivity: ConnectivityCertificate
+    progress: ProgressCertificate
+    digest: str = field(default="", compare=False)
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON-able dict form (digest included when stamped)."""
+        out: Dict[str, object] = {
+            "format": CERT_FORMAT,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "links": [list(l) for l in self.links],
+            "channel_class": list(self.channel_class),
+            "class_names": list(self.class_names),
+            "base_allowed": [list(row) for row in self.base_allowed],
+            "node_overrides": {
+                str(v): [list(row) for row in m]
+                for v, m in sorted(self.node_overrides.items())
+            },
+            "pair_exceptions": [list(p) for p in self.pair_exceptions],
+            "deadlock": self.deadlock.payload(),
+            "connectivity": self.connectivity.payload(),
+            "progress": self.progress.payload(),
+        }
+        if self.digest:
+            out["digest"] = self.digest
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload(), separators=(",", ":"))
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, object]) -> "CertificateBundle":
+        if data.get("format") != CERT_FORMAT:
+            raise ValueError(
+                f"unsupported certificate format {data.get('format')!r}"
+            )
+        dl = data["deadlock"]
+        cn = data["connectivity"]
+        pg = data["progress"]
+        return cls(
+            algorithm=str(data["algorithm"]),
+            n=int(data["n"]),
+            links=tuple((int(u), int(v)) for u, v in data["links"]),
+            channel_class=tuple(int(c) for c in data["channel_class"]),
+            class_names=tuple(str(s) for s in data["class_names"]),
+            base_allowed=tuple(
+                tuple(bool(x) for x in row) for row in data["base_allowed"]
+            ),
+            node_overrides={
+                int(v): tuple(tuple(bool(x) for x in row) for row in m)
+                for v, m in data["node_overrides"].items()
+            },
+            pair_exceptions=tuple(
+                (int(a), int(b)) for a, b in data["pair_exceptions"]
+            ),
+            deadlock=DeadlockFreedomCertificate(
+                order=tuple(int(c) for c in dl["order"]),
+                released_turns=tuple(
+                    (int(v), int(i), int(j)) for v, i, j in dl["released_turns"]
+                ),
+                released_pairs=tuple(
+                    (int(a), int(b)) for a, b in dl["released_pairs"]
+                ),
+            ),
+            connectivity=ConnectivityCertificate(
+                witnesses=tuple(
+                    (int(s), int(d), tuple(int(c) for c in path))
+                    for s, d, path in cn["witnesses"]
+                )
+            ),
+            progress=ProgressCertificate(
+                unreachable=int(pg["unreachable"]),
+                dist=tuple(tuple(int(x) for x in row) for row in pg["dist"]),
+                witnesses=tuple(
+                    (int(d), int(c), int(b)) for d, c, b in pg["witnesses"]
+                ),
+            ),
+            digest=str(data.get("digest", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CertificateBundle":
+        return cls.from_payload(json.loads(text))
+
+
+def _topological_order(adj: List[List[int]]) -> Optional[List[int]]:
+    """Kahn's algorithm; ``None`` when the graph is cyclic."""
+    n = len(adj)
+    indeg = [0] * n
+    for outs in adj:
+        for b in outs:
+            indeg[b] += 1
+    ready = [v for v in range(n) if indeg[v] == 0]
+    order: List[int] = []
+    while ready:
+        v = ready.pop()
+        order.append(v)
+        for b in adj[v]:
+            indeg[b] -= 1
+            if indeg[b] == 0:
+                ready.append(b)
+    return order if len(order) == n else None
+
+
+def _witness_path(routing: RoutingFunction, src: int, dest: int) -> Tuple[int, ...]:
+    """A concrete admissible path ``src -> dest``, read off the tables."""
+    opts = routing.first_hops[dest][src]
+    if not opts:
+        raise VerificationError(
+            f"{routing.name}: cannot certify connectivity — no admissible "
+            f"path {src}->{dest}",
+            routing_name=routing.name,
+            kind="unroutable",
+            unroutable=[(src, dest)],
+        )
+    path = [opts[0]]
+    dist = routing.dist[dest]
+    while int(dist[path[-1]]) > 0:
+        nxt = routing.next_hops[dest][path[-1]]
+        if not nxt:
+            raise VerificationError(
+                f"{routing.name}: cannot certify connectivity — table "
+                f"strands channel {path[-1]} toward {dest}",
+                routing_name=routing.name,
+                kind="stranded",
+                stranded={"dest": dest, "channel": path[-1]},
+            )
+        path.append(nxt[0])
+    return tuple(path)
+
+
+def certify_routing(
+    routing: RoutingFunction, algorithm: Optional[str] = None
+) -> CertificateBundle:
+    """Produce the digest-stamped certificate bundle for *routing*.
+
+    Raises :class:`~repro.routing.verification.VerificationError` when
+    no certificate exists (cyclic dependency graph, unroutable pair,
+    stranded state) — an invalid routing cannot be certified, only
+    rejected.
+    """
+    tm = routing.turn_model
+    topo = tm.topology
+    adj = dependency_adjacency(tm)
+    order = _topological_order(adj)
+    if order is None:
+        raise VerificationError(
+            f"{routing.name}: cannot certify deadlock freedom — channel "
+            f"dependency graph is cyclic",
+            routing_name=routing.name,
+            kind="cycle",
+        )
+
+    witnesses = []
+    for d in range(topo.n):
+        for s in range(topo.n):
+            if s != d:
+                witnesses.append((s, d, _witness_path(routing, s, d)))
+
+    unreachable = int(RoutingFunction.UNREACHABLE)
+    dist_rows = tuple(
+        tuple(int(x) for x in routing.dist[d]) for d in range(topo.n)
+    )
+    hop_witnesses = []
+    for d in range(topo.n):
+        row = dist_rows[d]
+        nh = routing.next_hops[d]
+        for c in range(topo.num_channels):
+            rem = row[c]
+            if 0 < rem < unreachable:
+                if not nh[c]:
+                    raise VerificationError(
+                        f"{routing.name}: cannot certify progress — dest "
+                        f"{d}, channel {c} has no next hop",
+                        routing_name=routing.name,
+                        kind="stranded",
+                        stranded={"dest": d, "channel": c, "remaining": rem},
+                    )
+                hop_witnesses.append((d, c, int(nh[c][0])))
+
+    bundle = CertificateBundle(
+        algorithm=algorithm if algorithm is not None else routing.name,
+        n=topo.n,
+        links=tuple(topo.links),
+        channel_class=tuple(int(c) for c in tm.channel_class),
+        class_names=tuple(tm.class_names),
+        base_allowed=tuple(
+            tuple(bool(x) for x in row) for row in tm.base_matrix
+        ),
+        node_overrides={
+            v: tuple(tuple(bool(x) for x in row) for row in tm.allowed_matrix(v))
+            for v in tm.overridden_switches()
+        },
+        pair_exceptions=tuple(tm.released_channel_pairs()),
+        deadlock=DeadlockFreedomCertificate(
+            order=tuple(order),
+            released_turns=tuple(tm.released_turns()),
+            released_pairs=tuple(tm.released_channel_pairs()),
+        ),
+        connectivity=ConnectivityCertificate(witnesses=tuple(witnesses)),
+        progress=ProgressCertificate(
+            unreachable=unreachable,
+            dist=dist_rows,
+            witnesses=tuple(hop_witnesses),
+        ),
+    )
+    return replace(bundle, digest=compute_digest(bundle.payload()))

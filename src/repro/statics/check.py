@@ -1,0 +1,391 @@
+"""The independent certificate checker.
+
+This module re-validates a :mod:`repro.statics.certificates` bundle
+against nothing but the raw facts the bundle itself carries: the
+topology's link list and the turn prohibitions (class matrices,
+per-node overrides, channel-pair releases).  It deliberately imports
+**nothing** from :mod:`repro.routing`, :mod:`repro.core` or any other
+construction code — channels are re-derived here from the documented
+id convention (link ``k`` joining ``u < v`` yields channel ``2k`` =
+``<u, v>`` and ``2k+1`` = ``<v, u>``), and the allowed-turn predicate
+is re-implemented from the matrices directly.  A bug in the builders'
+shared traversal code (``channel_graph``, ``cycle_detection``)
+therefore cannot self-certify: the certificate it emits would fail
+here.
+
+Each check is intentionally trivial (the certifying-algorithms
+discipline):
+
+* **deadlock freedom** — the claimed topological order is a permutation
+  of the channels and every allowed dependency edge points forward;
+* **connectivity** — every ordered switch pair has a witness path, and
+  walking it crosses only allowed turns;
+* **progress** — distances are locally consistent (zero exactly at the
+  destination) and every en-route state has a strictly-decreasing,
+  allowed witness hop;
+* **integrity** — the SHA-256 digest matches the canonical payload.
+
+All failures are collected into a :class:`CheckReport`; :func:`recheck`
+raises :class:`CertificateError` on the first bad report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+_FORMAT = "repro-cert-v1"
+_MAX_FAILURES = 50
+
+
+class CertificateError(ValueError):
+    """A certificate failed independent re-validation."""
+
+    def __init__(self, message: str, report: Optional["CheckReport"] = None):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One independent-checker finding."""
+
+    code: str
+    message: str
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one certificate re-validation."""
+
+    algorithm: str = ""
+    digest: str = ""
+    num_channels: int = 0
+    dependency_edges: int = 0
+    witness_pairs: int = 0
+    progress_states: int = 0
+    failures: List[CheckFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def fail(self, code: str, message: str) -> None:
+        if len(self.failures) < _MAX_FAILURES:
+            self.failures.append(CheckFailure(code, message))
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"FAILED ({len(self.failures)})"
+        return (
+            f"certificate[{self.algorithm}] {state}: "
+            f"{self.dependency_edges} dependency edges, "
+            f"{self.witness_pairs} witness paths, "
+            f"{self.progress_states} progress states"
+        )
+
+
+def _digest(body: Mapping[str, object]) -> str:
+    canonical = json.dumps(
+        {k: v for k, v in body.items() if k != "digest"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _as_payload(cert: Union[str, Mapping[str, object], object]) -> Mapping[str, object]:
+    """Accept JSON text, a payload dict, or a CertificateBundle-alike."""
+    if isinstance(cert, str):
+        return json.loads(cert)
+    if isinstance(cert, Mapping):
+        return cert
+    payload = getattr(cert, "payload", None)
+    if callable(payload):
+        return payload()
+    raise TypeError(f"cannot interpret {type(cert).__name__} as a certificate")
+
+
+def check_certificate(
+    cert: Union[str, Mapping[str, object], object]
+) -> CheckReport:
+    """Independently re-validate *cert*; return a :class:`CheckReport`.
+
+    *cert* may be the JSON text, the decoded payload dict, or a
+    :class:`~repro.statics.certificates.CertificateBundle` (anything
+    with a ``payload()`` method) — in every case only the payload data
+    is consulted.
+    """
+    report = CheckReport()
+    try:
+        data = _as_payload(cert)
+    except (TypeError, ValueError) as exc:
+        report.fail("malformed", str(exc))
+        return report
+
+    report.algorithm = str(data.get("algorithm", "?"))
+    if data.get("format") != _FORMAT:
+        report.fail("format", f"unsupported format {data.get('format')!r}")
+        return report
+
+    claimed_digest = str(data.get("digest", ""))
+    report.digest = claimed_digest
+    if not claimed_digest:
+        report.fail("digest", "certificate carries no digest")
+    else:
+        actual = _digest(data)
+        if actual != claimed_digest:
+            report.fail(
+                "digest",
+                f"digest mismatch: stamped {claimed_digest}, payload "
+                f"hashes to {actual}",
+            )
+
+    # ------------------------------------------------------------------
+    # raw facts: rebuild the channel model from the link list alone
+    # ------------------------------------------------------------------
+    try:
+        n = int(data["n"])
+        links = [(int(u), int(v)) for u, v in data["links"]]
+        channel_class = [int(c) for c in data["channel_class"]]
+        base = [[bool(x) for x in row] for row in data["base_allowed"]]
+        overrides = {
+            int(v): [[bool(x) for x in row] for row in m]
+            for v, m in data["node_overrides"].items()
+        }
+        pair_exceptions = {
+            (int(a), int(b)) for a, b in data["pair_exceptions"]
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        report.fail("malformed", f"payload is not well-formed: {exc!r}")
+        return report
+
+    if n <= 0:
+        report.fail("topology", f"invalid switch count {n}")
+        return report
+    seen_links = set()
+    for u, v in links:
+        if not (0 <= u < n and 0 <= v < n) or u == v:
+            report.fail("topology", f"invalid link ({u},{v}) for n={n}")
+        key = (u, v) if u < v else (v, u)
+        if key in seen_links:
+            report.fail("topology", f"duplicate link ({u},{v})")
+        seen_links.add(key)
+
+    num_channels = 2 * len(links)
+    report.num_channels = num_channels
+    # channel id convention: link k = (u, v) -> cid 2k is u->v, 2k+1 is v->u
+    start = [0] * num_channels
+    sink = [0] * num_channels
+    for k, (u, v) in enumerate(links):
+        start[2 * k], sink[2 * k] = u, v
+        start[2 * k + 1], sink[2 * k + 1] = v, u
+    out_channels: List[List[int]] = [[] for _ in range(n)]
+    for c in range(num_channels):
+        out_channels[start[c]].append(c)
+
+    k_classes = len(base)
+    if any(len(row) != k_classes for row in base):
+        report.fail("turns", "base_allowed is not square")
+        return report
+    if len(channel_class) != num_channels:
+        report.fail(
+            "turns",
+            f"channel_class has {len(channel_class)} entries for "
+            f"{num_channels} channels",
+        )
+        return report
+    if any(not (0 <= c < k_classes) for c in channel_class):
+        report.fail("turns", "channel class out of range")
+        return report
+    for v, m in overrides.items():
+        if not (0 <= v < n):
+            report.fail("turns", f"override for non-existent switch {v}")
+        if len(m) != k_classes or any(len(row) != k_classes for row in m):
+            report.fail("turns", f"override matrix at switch {v} is not {k_classes}x{k_classes}")
+    for a, b in pair_exceptions:
+        if not (0 <= a < num_channels and 0 <= b < num_channels):
+            report.fail("turns", f"pair exception ({a},{b}) out of range")
+        elif sink[a] != start[b]:
+            report.fail(
+                "turns",
+                f"pair exception ({a},{b}) does not meet at a switch",
+            )
+        elif b == (a ^ 1):
+            report.fail("turns", f"pair exception ({a},{b}) is a U-turn")
+    if not report.ok:
+        return report
+
+    def allowed(a: int, b: int) -> bool:
+        """May a worm holding channel *a* request channel *b* next?"""
+        if sink[a] != start[b] or b == (a ^ 1):
+            return False
+        if (a, b) in pair_exceptions:
+            return True
+        matrix = overrides.get(sink[a], base)
+        return matrix[channel_class[a]][channel_class[b]]
+
+    # ------------------------------------------------------------------
+    # claim 1: deadlock freedom via the topological order
+    # ------------------------------------------------------------------
+    order = [int(c) for c in data["deadlock"]["order"]]
+    if sorted(order) != list(range(num_channels)):
+        report.fail(
+            "deadlock",
+            f"topological order is not a permutation of the "
+            f"{num_channels} channels ({len(order)} entries)",
+        )
+    else:
+        pos = [0] * num_channels
+        for i, c in enumerate(order):
+            pos[c] = i
+        edges = 0
+        for a in range(num_channels):
+            for b in out_channels[sink[a]]:
+                if allowed(a, b):
+                    edges += 1
+                    if pos[a] >= pos[b]:
+                        report.fail(
+                            "deadlock",
+                            f"dependency {a}->{b} is allowed but runs "
+                            f"backwards in the claimed order "
+                            f"(pos {pos[a]} >= {pos[b]})",
+                        )
+        report.dependency_edges = edges
+
+    # ------------------------------------------------------------------
+    # claim 2: connectivity via witness paths
+    # ------------------------------------------------------------------
+    witnessed = set()
+    for s, d, path in data["connectivity"]["witnesses"]:
+        s, d = int(s), int(d)
+        path = [int(c) for c in path]
+        pair = (s, d)
+        if pair in witnessed:
+            report.fail("connectivity", f"duplicate witness for {pair}")
+            continue
+        witnessed.add(pair)
+        if not (0 <= s < n and 0 <= d < n) or s == d:
+            report.fail("connectivity", f"invalid witness pair {pair}")
+            continue
+        if not path:
+            report.fail("connectivity", f"empty witness path for {pair}")
+            continue
+        if any(not (0 <= c < num_channels) for c in path):
+            report.fail("connectivity", f"witness for {pair} uses an unknown channel")
+            continue
+        if start[path[0]] != s:
+            report.fail(
+                "connectivity",
+                f"witness for {pair} starts at switch {start[path[0]]}, "
+                f"not {s}",
+            )
+        if sink[path[-1]] != d:
+            report.fail(
+                "connectivity",
+                f"witness for {pair} ends at switch {sink[path[-1]]}, "
+                f"not {d}",
+            )
+        for a, b in zip(path[:-1], path[1:]):
+            if sink[a] != start[b]:
+                report.fail(
+                    "connectivity",
+                    f"witness for {pair} breaks at {a}->{b}: channels do "
+                    f"not meet at a switch",
+                )
+            elif not allowed(a, b):
+                report.fail(
+                    "connectivity",
+                    f"witness for {pair} crosses a prohibited turn "
+                    f"{a}->{b} at switch {sink[a]}",
+                )
+    missing = [
+        (s, d)
+        for d in range(n)
+        for s in range(n)
+        if s != d and (s, d) not in witnessed
+    ]
+    for pair in missing[:5]:
+        report.fail("connectivity", f"no witness path for pair {pair}")
+    if len(missing) > 5:
+        report.fail(
+            "connectivity",
+            f"... and {len(missing) - 5} further pairs without a witness",
+        )
+    report.witness_pairs = len(witnessed)
+
+    # ------------------------------------------------------------------
+    # claim 3: progress via distance-decrease witnesses
+    # ------------------------------------------------------------------
+    prog = data["progress"]
+    unreachable = int(prog["unreachable"])
+    dist = [[int(x) for x in row] for row in prog["dist"]]
+    if len(dist) != n or any(len(row) != num_channels for row in dist):
+        report.fail("progress", "distance table has the wrong shape")
+        return report
+    hop_witness: Dict[Tuple[int, int], int] = {}
+    for d, c, b in prog["witnesses"]:
+        hop_witness[(int(d), int(c))] = int(b)
+    states = 0
+    for d in range(n):
+        row = dist[d]
+        for c in range(num_channels):
+            rem = row[c]
+            if rem == 0 and sink[c] != d:
+                report.fail(
+                    "progress",
+                    f"dist[{d}][{c}] is 0 but channel {c} sinks at "
+                    f"{sink[c]}, not {d}",
+                )
+            if sink[c] == d and rem not in (0, unreachable):
+                report.fail(
+                    "progress",
+                    f"channel {c} sinks at its destination {d} but "
+                    f"dist is {rem}",
+                )
+            if 0 < rem < unreachable:
+                states += 1
+                b = hop_witness.get((d, c))
+                if b is None:
+                    report.fail(
+                        "progress",
+                        f"no witness hop for dest {d}, channel {c} at "
+                        f"distance {rem}",
+                    )
+                    continue
+                if not (0 <= b < num_channels):
+                    report.fail(
+                        "progress",
+                        f"witness hop {b} for dest {d}, channel {c} is "
+                        f"not a channel",
+                    )
+                    continue
+                if not allowed(c, b):
+                    report.fail(
+                        "progress",
+                        f"witness hop {c}->{b} for dest {d} crosses a "
+                        f"prohibited turn",
+                    )
+                if row[b] != rem - 1:
+                    report.fail(
+                        "progress",
+                        f"witness hop {c}->{b} for dest {d} does not "
+                        f"decrease distance ({rem} -> {row[b]})",
+                    )
+    report.progress_states = states
+    return report
+
+
+def recheck(cert: Union[str, Mapping[str, object], object]) -> CheckReport:
+    """Run :func:`check_certificate`; raise :class:`CertificateError` on failure."""
+    report = check_certificate(cert)
+    if not report.ok:
+        first = report.failures[0]
+        raise CertificateError(
+            f"certificate for {report.algorithm!r} failed independent "
+            f"re-validation: [{first.code}] {first.message} "
+            f"({len(report.failures)} failure(s) total)",
+            report,
+        )
+    return report

@@ -1,0 +1,312 @@
+"""AST-based repo invariant linter (the ``static-analysis`` CI gate).
+
+The codebase's determinism guarantees — byte-identical reruns under
+fixed seeds, engine-clock-only time, routing tables written exclusively
+by verified builders — were previously enforced by convention.  This
+linter enforces them statically, with four repo-specific rules:
+
+``STA001`` *engine clock only*
+    No wall-clock reads (``time.time``, ``time.perf_counter``,
+    ``time.monotonic``, ...) anywhere in ``repro`` except the one
+    sanctioned source, :mod:`repro.util.wallclock`.  Simulation and
+    fault logic must use the engine clock; anything needing elapsed
+    wall time takes an injectable clock.
+
+``STA002`` *RNG through repro.util.rng*
+    No direct ``numpy.random`` constructors or stdlib ``random`` calls
+    outside :mod:`repro.util.rng` — every stochastic component takes an
+    explicit seeded source, which is what keeps experiment campaigns
+    paired across algorithms and reproducible across runs.
+
+``STA003`` *routing tables are builder-only*
+    No writes to ``first_hops`` / ``next_hops`` / ``channel_class``
+    attributes outside the builder modules (``routing/base.py``,
+    ``routing/table.py``, ``routing/serialization.py``,
+    ``faults/controller.py``).  The engine fast path caches rows from
+    these tables; a stray in-place mutation would silently desynchronise
+    the cache.
+
+``STA004`` *builders verify*
+    Every ``build_*_routing`` function returning a ``RoutingFunction``
+    must pass its result through ``verify_routing`` — the Theorem-1
+    gate no construction is allowed to skip.
+
+Run as ``python -m repro.statics.lint [paths...]`` (defaults to the
+installed ``repro`` package); exits non-zero when violations exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: modules allowed to read the wall clock (STA001)
+WALLCLOCK_ALLOWED = frozenset({"repro/util/wallclock.py"})
+
+#: modules allowed to construct raw random sources (STA002)
+RNG_ALLOWED = frozenset({"repro/util/rng.py"})
+
+#: modules allowed to write routing-table attributes (STA003)
+TABLE_BUILDER_MODULES = frozenset(
+    {
+        "repro/routing/base.py",
+        "repro/routing/table.py",
+        "repro/routing/serialization.py",
+        "repro/faults/controller.py",
+    }
+)
+
+#: fully-qualified wall-clock calls banned by STA001
+WALLCLOCK_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+#: dotted-prefixes banned by STA002 (call targets)
+RNG_BANNED_PREFIXES = ("numpy.random.", "random.")
+
+#: attributes only builders may assign (STA003)
+TABLE_ATTRIBUTES = frozenset({"first_hops", "next_hops", "channel_class"})
+
+_BUILDER_NAME = re.compile(r"^build_\w+_routing$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One linter finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted modules/objects they refer to."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname:
+                    aliases[a.asname] = a.name
+                else:
+                    root = a.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _dotted_name(expr: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve *expr* to a fully-qualified dotted name, or ``None``.
+
+    Only chains rooted in an imported module name resolve — attribute
+    access on local variables (e.g. ``rng.integers``) stays opaque,
+    which is exactly what keeps the rules free of false positives.
+    """
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _normalise(full: str) -> str:
+    """Canonicalise aliases numpy exposes (``np`` -> ``numpy`` handled
+    upstream; here we fold ``numpy.random.mtrand`` style paths)."""
+    return full.replace("numpy.random.mtrand", "numpy.random")
+
+
+def _function_returns_routing(node: ast.FunctionDef) -> bool:
+    ann = node.returns
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Name):
+        return ann.id == "RoutingFunction"
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.strip('"') == "RoutingFunction"
+    if isinstance(ann, ast.Attribute):
+        return ann.attr == "RoutingFunction"
+    return False
+
+
+def lint_source(
+    source: str, path: str = "<string>", module_rel: Optional[str] = None
+) -> List[Violation]:
+    """Lint one module's *source*; *module_rel* is its ``repro/...``-relative
+    posix path, used to apply the per-rule allow-lists."""
+    rel = module_rel if module_rel is not None else _module_rel(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                code="STA000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    aliases = _import_aliases(tree)
+    out: List[Violation] = []
+
+    def add(node: ast.AST, code: str, message: str) -> None:
+        out.append(
+            Violation(
+                path=path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+    # --- STA001 / STA002: banned call targets --------------------------
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        full = _dotted_name(node.func, aliases)
+        if full is None:
+            continue
+        full = _normalise(full)
+        if full in WALLCLOCK_BANNED and rel not in WALLCLOCK_ALLOWED:
+            add(
+                node,
+                "STA001",
+                f"wall-clock call {full}() — use the engine clock, or an "
+                f"injectable clock from repro.util.wallclock",
+            )
+        if (
+            any(full.startswith(p) for p in RNG_BANNED_PREFIXES)
+            and rel not in RNG_ALLOWED
+        ):
+            add(
+                node,
+                "STA002",
+                f"direct RNG construction {full}() — take an explicit "
+                f"seeded source via repro.util.rng instead",
+            )
+
+    # --- STA003: routing-table writes ----------------------------------
+    if rel not in TABLE_BUILDER_MODULES:
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                # unwrap subscript chains: obj.first_hops[i][j] = ...
+                base = tgt
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and base.attr in TABLE_ATTRIBUTES
+                ):
+                    add(
+                        tgt,
+                        "STA003",
+                        f"write to routing table attribute "
+                        f"'.{base.attr}' outside a builder module — "
+                        f"tables are immutable once verified",
+                    )
+
+    # --- STA004: builders must verify ----------------------------------
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not _BUILDER_NAME.match(node.name):
+            continue
+        if not _function_returns_routing(node):
+            continue
+        mentions_verify = any(
+            isinstance(sub, ast.Name) and sub.id == "verify_routing"
+            for body_stmt in node.body
+            for sub in ast.walk(body_stmt)
+        )
+        if not mentions_verify:
+            add(
+                node,
+                "STA004",
+                f"builder {node.name}() returns a RoutingFunction without "
+                f"passing it through verify_routing()",
+            )
+    return out
+
+
+def _module_rel(path: Path) -> str:
+    """The ``repro/...`` posix path of *path* (for the allow-lists)."""
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path.name
+
+
+def lint_file(
+    path: Path, module_rel: Optional[str] = None
+) -> List[Violation]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        path=str(path),
+        module_rel=module_rel,
+    )
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Violation]:
+    """Lint every ``*.py`` file under *paths* (files or directories)."""
+    out: List[Violation] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for f in files:
+            out.extend(lint_file(f))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        args = [str(Path(__file__).resolve().parents[1])]
+    violations = lint_paths(Path(a) for a in args)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"{len(violations)} invariant violation(s)")
+        return 1
+    print("invariant linter: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The one sanctioned wall-clock source.
+
+Simulation, routing, and fault code must never read the wall clock —
+results have to be a pure function of the seed and the engine clock
+(invariant-linter rule ``STA001``).  The few places that legitimately
+measure elapsed *real* time (campaign stage timings, benchmark
+harnesses) take an injectable ``Clock`` and default it through this
+module, mirroring how :mod:`repro.util.rng` is the one sanctioned
+randomness source.  Tests inject a fake clock and get deterministic
+timings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+#: A zero-argument callable returning seconds as a float.
+Clock = Callable[[], float]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds (the default stage timer)."""
+    return time.perf_counter()
+
+
+def resolve_clock(clock: Optional[Clock]) -> Clock:
+    """*clock* itself, or the real wall clock when ``None``."""
+    return clock if clock is not None else wall_clock

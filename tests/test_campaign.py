@@ -55,6 +55,29 @@ def test_no_static_option(tiny, tmp_path):
     assert [s.name for s in stages] == ["figure8-4port", "tables"]
 
 
+def test_stage_timing_uses_injected_clock(tiny, tmp_path):
+    """Stage seconds come from the injectable clock, not the wall clock.
+
+    The fake ticks 10 simulated seconds per reading, so every stage
+    reports exactly 10.0s — deterministic, unlike real timing.
+    """
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            self.now += 10.0
+            return self.now
+
+    stages = run_campaign(tiny, tmp_path, clock=FakeClock())
+    assert [s.seconds for s in stages] == [10.0] * len(stages)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert all(
+        entry["seconds"] == 10.0 for entry in manifest["stages"].values()
+    )
+
+
 def test_campaign_cli(tmp_path, capsys):
     rc = cli_main(
         ["campaign", "--preset", "tiny", "--quiet", "--out", str(tmp_path)]

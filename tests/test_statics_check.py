@@ -1,0 +1,225 @@
+"""The independent checker must reject deliberately corrupted certificates.
+
+Each corruption targets one witness section while keeping the digest
+consistent (the bundle is re-stamped after tampering), proving the
+semantic checks — not just the hash — catch the forgery.  One final
+test tampers *without* re-stamping to prove the digest check fires too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.downup import build_down_up_routing
+from repro.statics import (
+    CertificateError,
+    certify_routing,
+    check_certificate,
+    compute_digest,
+    recheck,
+)
+from repro.topology.generator import random_irregular_topology
+
+
+@pytest.fixture(scope="module")
+def cert():
+    topo = random_irregular_topology(16, 4, rng=1)
+    return certify_routing(build_down_up_routing(topo))
+
+
+def restamp(bundle):
+    """Re-stamp the digest after tampering, so only semantics can fail."""
+    return replace(bundle, digest=compute_digest(bundle.payload()))
+
+
+def failure_codes(report):
+    return {f.code for f in report.failures}
+
+
+class TestDeadlockCorruptions:
+    def test_dropped_order_entry_rejected(self, cert):
+        bad = restamp(
+            replace(
+                cert,
+                deadlock=replace(cert.deadlock, order=cert.deadlock.order[1:]),
+            )
+        )
+        report = check_certificate(bad)
+        assert not report.ok
+        assert "deadlock" in failure_codes(report)
+        assert any("permutation" in f.message for f in report.failures)
+
+    def test_swapped_order_entries_rejected(self, cert):
+        # find two order positions joined by a dependency edge and swap
+        # them: still a permutation, but the edge now runs backwards
+        order = list(cert.deadlock.order)
+        order[0], order[-1] = order[-1], order[0]
+        bad = restamp(
+            replace(cert, deadlock=replace(cert.deadlock, order=tuple(order)))
+        )
+        report = check_certificate(bad)
+        assert not report.ok
+        assert any("backwards" in f.message for f in report.failures)
+
+    def test_duplicate_order_entry_rejected(self, cert):
+        order = list(cert.deadlock.order)
+        order[1] = order[0]
+        bad = restamp(
+            replace(cert, deadlock=replace(cert.deadlock, order=tuple(order)))
+        )
+        assert not check_certificate(bad).ok
+
+
+def prohibited_adjacent_pair(cert):
+    """Find adjacent channels (a, b) whose turn the bundle prohibits."""
+    links = cert.links
+    num_channels = 2 * len(links)
+    start, sink = {}, {}
+    for k, (u, v) in enumerate(links):
+        start[2 * k], sink[2 * k] = u, v
+        start[2 * k + 1], sink[2 * k + 1] = v, u
+    pair_exceptions = set(cert.pair_exceptions)
+    for a in range(num_channels):
+        for b in range(num_channels):
+            if sink[a] != start[b] or b == (a ^ 1) or start[a] == sink[b]:
+                continue
+            if (a, b) in pair_exceptions:
+                continue
+            matrix = cert.node_overrides.get(sink[a], cert.base_allowed)
+            if not matrix[cert.channel_class[a]][cert.channel_class[b]]:
+                return a, b, start[a], sink[b]
+    raise AssertionError("no prohibited adjacent channel pair found")
+
+
+class TestConnectivityCorruptions:
+    def test_witness_detour_through_prohibited_turn_rejected(self, cert):
+        a, b, s, d = prohibited_adjacent_pair(cert)
+        witnesses = tuple(
+            (ws, wd, (a, b)) if (ws, wd) == (s, d) else (ws, wd, path)
+            for ws, wd, path in cert.connectivity.witnesses
+        )
+        assert witnesses != cert.connectivity.witnesses
+        bad = restamp(
+            replace(
+                cert,
+                connectivity=replace(cert.connectivity, witnesses=witnesses),
+            )
+        )
+        report = check_certificate(bad)
+        assert not report.ok
+        assert any(
+            "prohibited turn" in f.message and f.code == "connectivity"
+            for f in report.failures
+        )
+
+    def test_missing_witness_pair_rejected(self, cert):
+        bad = restamp(
+            replace(
+                cert,
+                connectivity=replace(
+                    cert.connectivity,
+                    witnesses=cert.connectivity.witnesses[1:],
+                ),
+            )
+        )
+        report = check_certificate(bad)
+        assert not report.ok
+        assert any("no witness path" in f.message for f in report.failures)
+
+    def test_broken_chain_rejected(self, cert):
+        # a witness path whose channels do not meet at a switch
+        s, d, path = cert.connectivity.witnesses[0]
+        if len(path) < 2:
+            pytest.skip("first witness is a single hop")
+        corrupted = (path[0],) + (path[0],) + path[1:]
+        witnesses = ((s, d, corrupted),) + cert.connectivity.witnesses[1:]
+        bad = restamp(
+            replace(
+                cert,
+                connectivity=replace(cert.connectivity, witnesses=witnesses),
+            )
+        )
+        assert not check_certificate(bad).ok
+
+
+class TestProgressCorruptions:
+    def test_missing_hop_witness_rejected(self, cert):
+        bad = restamp(
+            replace(
+                cert,
+                progress=replace(
+                    cert.progress, witnesses=cert.progress.witnesses[1:]
+                ),
+            )
+        )
+        report = check_certificate(bad)
+        assert not report.ok
+        assert any("no witness hop" in f.message for f in report.failures)
+
+    def test_nondecreasing_hop_rejected(self, cert):
+        # redirect the first witness hop back to where it came from:
+        # dist cannot decrease along c -> c^1's claimed replacement
+        d, c, b = cert.progress.witnesses[0]
+        witnesses = ((d, c, c),) + cert.progress.witnesses[1:]
+        bad = restamp(
+            replace(cert, progress=replace(cert.progress, witnesses=witnesses))
+        )
+        assert not check_certificate(bad).ok
+
+    def test_corrupt_dist_rejected(self, cert):
+        dist = [list(row) for row in cert.progress.dist]
+        # claim a channel that does not sink at dest 0 already arrived
+        for c in range(len(dist[0])):
+            if dist[0][c] not in (0, cert.progress.unreachable):
+                dist[0][c] = 0
+                break
+        bad = restamp(
+            replace(
+                cert,
+                progress=replace(
+                    cert.progress, dist=tuple(tuple(r) for r in dist)
+                ),
+            )
+        )
+        assert not check_certificate(bad).ok
+
+
+class TestIntegrity:
+    def test_tamper_without_restamp_fails_digest(self, cert):
+        data = json.loads(cert.to_json())
+        data["algorithm"] = "evil"
+        report = check_certificate(data)
+        assert not report.ok
+        assert "digest" in failure_codes(report)
+
+    def test_missing_digest_rejected(self, cert):
+        data = json.loads(cert.to_json())
+        del data["digest"]
+        report = check_certificate(data)
+        assert any(
+            "no digest" in f.message for f in report.failures
+        )
+
+    def test_garbage_input_reported_not_raised(self):
+        report = check_certificate("{not json")
+        assert not report.ok
+        report = check_certificate({"format": "bogus"})
+        assert not report.ok
+
+    def test_recheck_raises_with_report(self, cert):
+        bad = restamp(
+            replace(
+                cert,
+                deadlock=replace(cert.deadlock, order=cert.deadlock.order[1:]),
+            )
+        )
+        with pytest.raises(CertificateError, match="deadlock") as exc:
+            recheck(bad)
+        assert exc.value.report is not None
+        assert not exc.value.report.ok
+
+    def test_recheck_passes_clean(self, cert):
+        assert recheck(cert).ok

@@ -1,0 +1,160 @@
+"""Invariant linter: every rule must fire on a minimal violating snippet,
+stay quiet on the sanctioned idioms, and find the shipped tree clean."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.statics.lint import lint_paths, lint_source
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def codes(source, module_rel="repro/simulator/fake.py"):
+    return [
+        v.code
+        for v in lint_source(textwrap.dedent(source), module_rel=module_rel)
+    ]
+
+
+class TestSTA001WallClock:
+    def test_time_time_fires(self):
+        assert codes("import time\nt = time.time()\n") == ["STA001"]
+
+    def test_perf_counter_fires(self):
+        assert codes(
+            "from time import perf_counter\nt = perf_counter()\n"
+        ) == ["STA001"]
+
+    def test_datetime_now_fires(self):
+        assert codes(
+            "import datetime\nd = datetime.datetime.now()\n"
+        ) == ["STA001"]
+
+    def test_aliased_import_fires(self):
+        assert codes("import time as t\nx = t.monotonic()\n") == ["STA001"]
+
+    def test_wallclock_module_is_allowed(self):
+        assert (
+            codes(
+                "import time\nt = time.perf_counter()\n",
+                module_rel="repro/util/wallclock.py",
+            )
+            == []
+        )
+
+    def test_engine_clock_attribute_is_fine(self):
+        # `self.clock` / `sim.time` style attribute access never fires
+        assert codes("t = sim.clock\nu = self.time\n") == []
+
+
+class TestSTA002Rng:
+    def test_numpy_default_rng_fires(self):
+        assert codes(
+            "import numpy as np\nr = np.random.default_rng(3)\n"
+        ) == ["STA002"]
+
+    def test_numpy_randomstate_fires(self):
+        assert codes(
+            "import numpy\nr = numpy.random.RandomState(3)\n"
+        ) == ["STA002"]
+
+    def test_stdlib_random_fires(self):
+        assert codes("import random\nx = random.random()\n") == ["STA002"]
+
+    def test_rng_module_is_allowed(self):
+        assert (
+            codes(
+                "import numpy as np\nr = np.random.default_rng(0)\n",
+                module_rel="repro/util/rng.py",
+            )
+            == []
+        )
+
+    def test_generator_method_on_local_is_fine(self):
+        # drawing from an injected generator is the sanctioned idiom
+        assert codes("def f(rng):\n    return rng.integers(0, 4)\n") == []
+
+
+class TestSTA003TableWrites:
+    def test_attribute_assignment_fires(self):
+        assert codes("r.first_hops = ()\n") == ["STA003"]
+
+    def test_subscript_chain_write_fires(self):
+        assert codes("r.next_hops[0][1] = (2,)\n") == ["STA003"]
+
+    def test_augmented_write_fires(self):
+        assert codes("r.channel_class[3] += 1\n") == ["STA003"]
+
+    def test_builder_module_is_allowed(self):
+        assert (
+            codes("r.first_hops = ()\n", module_rel="repro/routing/table.py")
+            == []
+        )
+
+    def test_reading_tables_is_fine(self):
+        assert codes("x = r.first_hops[0][1]\n") == []
+
+
+class TestSTA004BuildersVerify:
+    UNVERIFIED = """
+        def build_fake_routing(topo) -> RoutingFunction:
+            return make_tables(topo)
+        """
+    VERIFIED = """
+        def build_fake_routing(topo) -> RoutingFunction:
+            return verify_routing(make_tables(topo))
+        """
+
+    def test_unverified_builder_fires(self):
+        assert codes(self.UNVERIFIED) == ["STA004"]
+
+    def test_verified_builder_is_fine(self):
+        assert codes(self.VERIFIED) == []
+
+    def test_string_annotation_also_fires(self):
+        src = """
+            def build_fake_routing(topo) -> "RoutingFunction":
+                return make_tables(topo)
+            """
+        assert codes(src) == ["STA004"]
+
+    def test_unannotated_helper_is_ignored(self):
+        assert codes("def build_fake_routing(topo):\n    return 1\n") == []
+
+    def test_non_builder_name_is_ignored(self):
+        src = """
+            def assemble_routing(topo) -> RoutingFunction:
+                return make_tables(topo)
+            """
+        assert codes(src) == []
+
+
+class TestMachinery:
+    def test_syntax_error_reported_as_sta000(self):
+        assert codes("def broken(:\n") == ["STA000"]
+
+    def test_violation_render_carries_location(self):
+        (v,) = lint_source(
+            "import time\nt = time.time()\n",
+            path="src/repro/simulator/fake.py",
+            module_rel="repro/simulator/fake.py",
+        )
+        assert v.render().startswith("src/repro/simulator/fake.py:2:")
+        assert "STA001" in v.render()
+
+    def test_module_rel_inferred_from_path(self):
+        # no explicit module_rel: the repro/... suffix of the path decides
+        assert (
+            lint_source(
+                "import time\nt = time.time()\n",
+                path="/anywhere/src/repro/util/wallclock.py",
+            )
+            == []
+        )
+
+
+def test_shipped_tree_is_clean():
+    violations = lint_paths([SRC])
+    assert violations == [], "\n".join(v.render() for v in violations)

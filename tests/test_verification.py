@@ -89,6 +89,93 @@ class TestProgress:
             assert_progress(broken)
 
 
+class TestStructuredPayloads:
+    """VerificationError carries machine-readable verdicts, not just text."""
+
+    def test_cycle_payload_is_a_closed_channel_walk(self, ring6):
+        tm = unrestricted_tm(ring6)
+        with pytest.raises(VerificationError) as exc:
+            assert_deadlock_free(tm, "ring")
+        err = exc.value
+        assert err.kind == "cycle"
+        assert err.routing_name == "ring"
+        cycle = err.cycle
+        assert len(cycle) >= 2
+        # consecutive channels (wrapping) meet head-to-tail: a real walk
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert ring6.channel(a).sink == ring6.channel(b).start
+
+    def test_unroutable_payload_is_complete(self, line3):
+        tm = unrestricted_tm(line3)
+        tm.set_turn(1, 0, 0, False)  # forbid all transit at switch 1
+        routing = build_routing_function(tm, "broken")
+        with pytest.raises(VerificationError) as exc:
+            assert_connected(routing)
+        err = exc.value
+        assert err.kind == "unroutable"
+        # the message truncates; the attribute carries both dead pairs
+        assert sorted(err.unroutable) == [(0, 2), (2, 0)]
+
+    def test_stranded_payload_identifies_the_state(self, line3):
+        ok = build_routing_function(unrestricted_tm(line3), "ok")
+        c01 = line3.channel_id(0, 1)
+        bad_next = [list(row) for row in ok.next_hops]
+        bad_next[2][c01] = ()
+        broken = RoutingFunction(
+            topology=ok.topology,
+            name="broken",
+            turn_model=ok.turn_model,
+            dist=ok.dist,
+            next_hops=tuple(tuple(r) for r in bad_next),
+            first_hops=ok.first_hops,
+        )
+        with pytest.raises(VerificationError) as exc:
+            assert_progress(broken)
+        err = exc.value
+        assert err.kind == "stranded"
+        assert err.stranded == {"dest": 2, "channel": c01, "remaining": 1}
+
+    def test_no_progress_payload_names_the_candidate(self, line3):
+        ok = build_routing_function(unrestricted_tm(line3), "ok")
+        c01, c12 = line3.channel_id(0, 1), line3.channel_id(1, 2)
+        bad_dist = ok.dist.copy()
+        bad_dist.setflags(write=True)
+        bad_dist[2][c12] = 5
+        broken = RoutingFunction(
+            topology=ok.topology,
+            name="broken",
+            turn_model=ok.turn_model,
+            dist=bad_dist,
+            next_hops=ok.next_hops,
+            first_hops=ok.first_hops,
+        )
+        with pytest.raises(VerificationError) as exc:
+            assert_progress(broken)
+        err = exc.value
+        assert err.kind == "no-progress"
+        assert err.stranded["candidate"] == c12
+        assert err.stranded["candidate_remaining"] == 5
+
+    def test_payload_dict_is_jsonable(self, line3):
+        import json
+
+        tm = unrestricted_tm(line3)
+        tm.set_turn(1, 0, 0, False)
+        routing = build_routing_function(tm, "broken")
+        with pytest.raises(VerificationError) as exc:
+            assert_connected(routing)
+        data = json.loads(json.dumps(exc.value.payload()))
+        assert data["kind"] == "unroutable"
+        assert data["routing"] == "broken"
+        assert [0, 2] in data["unroutable"]
+
+    def test_freeform_error_has_empty_payload_fields(self):
+        err = VerificationError("just a message")
+        assert err.kind is None
+        assert err.cycle is None and err.unroutable is None
+        assert err.payload()["message"] == "just a message"
+
+
 class TestVerifyRouting:
     def test_returns_routing_on_success(self, line3):
         r = build_routing_function(unrestricted_tm(line3), "ok")
