@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Resumable campaign execution: crash isolation and the result ledger.
+
+The archival presets run thousands of independent simulations over a
+process pool; this example shows, at toy scale, the machinery that
+makes those runs survivable (`repro.experiments.ledger` + `parallel`):
+
+1. run a Figure-8 work list with a durable JSONL ledger while one
+   algorithm is rigged to crash on every attempt — its siblings'
+   results land on disk anyway, the broken units are retried and then
+   reported as failed without aborting the run;
+2. re-run with the *same* ledger and the fault removed — completed
+   units are skipped (their recorded results merge back in input
+   order), only the failed ones execute, and the merged results are
+   identical to a never-interrupted run;
+3. inspect the ledger with `read_records`, then corrupt its tail and
+   watch recovery truncate the torn region like a write-ahead log.
+
+Run:  python examples/resumable_campaign.py
+"""
+
+import os
+
+from repro.experiments import (
+    ResultLedger,
+    figure8_units,
+    get_preset,
+    read_records,
+    run_parallel,
+    unit_digest,
+)
+from repro.experiments.parallel import TEST_FAULT_ENV
+
+
+def main() -> None:
+    preset = get_preset("tiny").scaled(
+        warmup_clocks=100, measure_clocks=400, rates=(0.05, 0.2)
+    )
+    units = figure8_units(preset, ports=4, methods=("M1",))
+    ledger_path = "resumable_demo_ledger.jsonl"
+    if os.path.exists(ledger_path):
+        os.remove(ledger_path)
+
+    print(f"== work list: {len(units)} units (tiny preset, 4-port, M1)")
+
+    print("\n== act 1: run with the L-turn units rigged to crash")
+    os.environ[TEST_FAULT_ENV] = "l-turn:raise:99"  # every attempt raises
+    try:
+        with ResultLedger(ledger_path) as ledger:
+            partial = run_parallel(
+                units, max_workers=1, progress=print, ledger=ledger, retries=1
+            )
+            tally = ledger.summary()
+    finally:
+        del os.environ[TEST_FAULT_ENV]
+    print(
+        f"   survived: {len(partial)}/{len(units)} results, ledger says "
+        f"{tally['completed']} completed / {tally['failed']} failed"
+    )
+
+    print("\n== act 2: resume with the fault gone")
+    with ResultLedger(ledger_path) as ledger:
+        resumed = run_parallel(
+            units, max_workers=1, progress=print, ledger=ledger
+        )
+    clean = run_parallel(units, max_workers=1)
+    assert resumed == clean, "resumed run must match a clean run exactly"
+    print(f"   {len(resumed)} results, bit-identical to an uninterrupted run")
+
+    print("\n== act 3: ledger anatomy and torn-tail recovery")
+    records = read_records(ledger_path)
+    ok = sum(1 for r in records if r["status"] == "ok")
+    failed = len(records) - ok
+    retried = sum(1 for r in records if r["attempt"] > 1)
+    print(
+        f"   {len(records)} records ({ok} ok, {failed} failed), "
+        f"{retried} written on a retry attempt"
+    )
+    digests = {unit_digest(u) for u in units}
+    assert all(r["digest"] in digests for r in records)
+
+    with open(ledger_path, "ab") as fh:  # a crash mid-append: torn line
+        fh.write(b'{"v":1,"digest":"torn')
+    with ResultLedger(ledger_path) as ledger:
+        print(
+            f"   reopened after corruption: {ledger.dropped_lines} torn "
+            f"line(s) truncated, {len(ledger.completed)} results recovered"
+        )
+        assert len(ledger.completed) == len(units)
+
+    os.remove(ledger_path)
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,9 @@
 * :mod:`repro.experiments.tables` — the four saturation-regime tables
   (Tables 1-4), simulated and in fast static-analysis form;
 * :mod:`repro.experiments.report` — paper-layout rendering;
+* :mod:`repro.experiments.ledger` /
+  :mod:`repro.experiments.parallel` — durable, crash-tolerant,
+  resumable execution of the independent simulation units;
 * ``python -m repro.experiments`` — the CLI.
 """
 
@@ -28,7 +31,14 @@ from repro.experiments.live_resilience import (
     run_live_fault_campaign,
 )
 from repro.experiments.tables import TablesResult, run_static_tables, run_tables
-from repro.experiments.parallel import WorkUnit, figure8_units, run_parallel, tables_units
+from repro.experiments.ledger import ResultLedger, read_records, unit_digest
+from repro.experiments.parallel import (
+    WorkUnit,
+    default_max_workers,
+    figure8_units,
+    run_parallel,
+    tables_units,
+)
 from repro.experiments.statistics import (
     PairedComparison,
     Summary,
@@ -59,6 +69,10 @@ __all__ = [
     "figure8_units",
     "tables_units",
     "run_parallel",
+    "default_max_workers",
+    "ResultLedger",
+    "read_records",
+    "unit_digest",
     "Summary",
     "PairedComparison",
     "summarize",

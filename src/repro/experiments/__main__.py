@@ -75,12 +75,27 @@ def _parser() -> argparse.ArgumentParser:
             help="process-pool size for the simulations (default: serial)",
         )
 
+    def durability(sp):
+        sp.add_argument(
+            "--resume", type=Path, default=None, metavar="LEDGER",
+            help="durable JSONL result ledger: completed units stream to "
+            "it (fsync'd) and are skipped when the run restarts; created "
+            "if missing",
+        )
+        sp.add_argument(
+            "--retries", type=int, default=None,
+            help="extra attempts per unit after a worker crash or error "
+            "(default: 2); an exhausted unit is reported, not fatal",
+        )
+
     f8 = sub.add_parser("figure8", help="latency vs accepted traffic curves")
     common(f8)
+    durability(f8)
     f8.add_argument("--ports", type=int, default=4, choices=(4, 8))
 
     tb = sub.add_parser("tables", help="Tables 1-4 (simulated, saturated)")
     common(tb)
+    durability(tb)
     tb.add_argument("--ports", type=int, nargs="+", default=None)
 
     st = sub.add_parser("static-tables", help="Tables 1-4 (static analysis)")
@@ -107,11 +122,18 @@ def _parser() -> argparse.ArgumentParser:
 
     cp = sub.add_parser(
         "campaign",
-        help="generate every paper artefact into one directory (resumable)",
+        help="generate every paper artefact into one directory (resumable "
+        "at both stage and work-unit level via per-stage ledgers)",
     )
     common(cp)
+    cp.add_argument(
+        "--retries", type=int, default=None,
+        help="extra attempts per unit after a worker crash or error "
+        "(default: 2); an exhausted unit is reported, not fatal",
+    )
     cp.add_argument("--force", action="store_true",
-                    help="re-run stages whose artefacts already exist")
+                    help="re-run stages whose artefacts already exist "
+                    "(also truncates the per-stage unit ledgers)")
     cp.add_argument("--no-static", action="store_true",
                     help="skip the static-analysis cross-check stage")
 
@@ -188,6 +210,8 @@ def _cmd_figure8(args) -> int:
         out_dir=args.out,
         progress=_progress(args.quiet),
         workers=args.workers,
+        ledger_path=args.resume,
+        retries=args.retries,
     )
     print()
     print(result.to_ascii())
@@ -201,7 +225,15 @@ def _cmd_tables(args, static: bool) -> int:
     if args.samples:
         preset = preset.scaled(samples=args.samples)
     runner = run_static_tables if static else run_tables
-    kwargs = {} if static else {"workers": args.workers}
+    kwargs = (
+        {}
+        if static
+        else {
+            "workers": args.workers,
+            "ledger_path": getattr(args, "resume", None),
+            "retries": getattr(args, "retries", None),
+        }
+    )
     result = runner(
         preset,
         ports_list=args.ports,
@@ -304,6 +336,7 @@ def _cmd_campaign(args) -> int:
         force=args.force,
         progress=_progress(args.quiet),
         include_static=not args.no_static,
+        retries=args.retries,
     )
     for st in stages:
         state = "skipped" if st.skipped else f"{st.seconds:.1f}s"

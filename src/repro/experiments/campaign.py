@@ -54,6 +54,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     include_static: bool = True,
     clock: Optional[Clock] = None,
+    retries: Optional[int] = None,
 ) -> List[StageResult]:
     """Generate every paper artefact for *preset* into *out_dir*.
 
@@ -65,10 +66,19 @@ def run_campaign(
     3. ``tables`` — Tables 1-4 simulated at saturation (CSV + rendered);
     4. ``static-tables`` — the exact static cross-check.
 
-    A ``manifest.json`` records preset parameters, stage timings and
-    the winner summary, so the directory is self-describing.  *clock*
-    injects the stage timer (defaults to the real wall clock); tests
-    pass a fake for deterministic timings.
+    Resumability is two-level.  Stage-level: a stage whose artefacts
+    exist is skipped.  Unit-level: the simulation stages stream every
+    completed work unit to a durable per-stage ledger
+    (``ledger_<stage>.jsonl``, see :mod:`repro.experiments.ledger`), so
+    a campaign killed mid-stage resumes from the last fsync'd unit and
+    still produces byte-identical artefacts.  *force* restarts both
+    levels (artefacts re-run, ledgers truncated).  *retries* bounds
+    per-unit crash re-attempts.
+
+    A ``manifest.json`` records preset parameters, stage timings,
+    ledger tallies and the winner summary, so the directory is
+    self-describing.  *clock* injects the stage timer (defaults to the
+    real wall clock); tests pass a fake for deterministic timings.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -102,11 +112,20 @@ def run_campaign(
         "winners": {},
     }
 
+    ledgers: Dict[str, str] = {}
+
+    def stage_ledger(name: str) -> Path:
+        path = out_dir / f"ledger_{name.replace('-', '_')}.jsonl"
+        ledgers[name] = path.name
+        return path
+
     def fig8(ports: int) -> Callable[[], None]:
         def run() -> None:
             result = run_figure8(
                 preset, ports=ports, out_dir=out_dir,
                 progress=progress, workers=workers,
+                ledger_path=stage_ledger(f"figure8-{ports}port"),
+                resume=not force, retries=retries,
             )
             (out_dir / f"figure8_{ports}port_summary.txt").write_text(
                 render_figure8_summary(result) + "\n", encoding="utf-8"
@@ -122,7 +141,9 @@ def run_campaign(
 
     def tables_stage() -> None:
         result = run_tables(
-            preset, out_dir=out_dir, progress=progress, workers=workers
+            preset, out_dir=out_dir, progress=progress, workers=workers,
+            ledger_path=stage_ledger("tables"),
+            resume=not force, retries=retries,
         )
         from repro.experiments.harness import PAPER_ALGORITHMS
 
@@ -148,7 +169,11 @@ def run_campaign(
         stage("static-tables", ["tables_static.csv", "tables_static.txt"], static_stage)
 
     manifest["stages"] = {
-        r.name: {"skipped": r.skipped, "seconds": round(r.seconds, 2)}
+        r.name: {
+            "skipped": r.skipped,
+            "seconds": round(r.seconds, 2),
+            **({"ledger": ledgers[r.name]} if r.name in ledgers else {}),
+        }
         for r in results
     }
     (out_dir / "manifest.json").write_text(

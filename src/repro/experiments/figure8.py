@@ -94,6 +94,10 @@ def run_figure8(
     out_dir: Optional[Path] = None,
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
+    ledger_path: Optional[Path] = None,
+    resume: bool = True,
+    retries: Optional[int] = None,
+    clock=None,
 ) -> Figure8Result:
     """Regenerate Figure 8 for one port configuration.
 
@@ -102,22 +106,50 @@ def run_figure8(
     independent simulations over a process pool
     (:mod:`repro.experiments.parallel`); results are bit-identical to
     the serial run.
+
+    *ledger_path* makes the run durable: every completed unit streams
+    to an append-only :class:`~repro.experiments.ledger.ResultLedger`,
+    and (with *resume*, the default) units already recorded there are
+    skipped — an interrupted run continues where it stopped and the
+    final artefacts are byte-identical to an uninterrupted one.  The
+    aggregation below keys on the unit tuple, so it accepts ledger
+    records in any order.  *retries* bounds per-unit re-attempts after
+    a crash (default :data:`~repro.experiments.parallel.DEFAULT_RETRIES`);
+    *clock* injects the progress/ETA timer.
     """
     result = Figure8Result(ports=ports, preset=preset.name)
     rates = preset.rates_for(ports)
     acc: Dict[Tuple[str, str, float], List[float]] = {}
     lat: Dict[Tuple[str, str, float], List[float]] = {}
 
-    if workers > 1:
+    if workers > 1 or ledger_path is not None:
+        from repro.experiments.ledger import ResultLedger
         from repro.experiments.parallel import figure8_units, run_parallel
 
         units = figure8_units(preset, ports, methods, algorithms)
-        for res in run_parallel(units, max_workers=workers, progress=progress):
-            alg, method, _ports, sample, rate = res["key"]
-            accepted, latency = res["accepted"], res["latency"]
-            result.raw.append((alg, method, sample, rate, accepted, latency))
-            acc.setdefault((alg, method, rate), []).append(accepted)
-            lat.setdefault((alg, method, rate), []).append(latency)
+        ledger = (
+            ResultLedger(ledger_path, resume=resume)
+            if ledger_path is not None
+            else None
+        )
+        kwargs = {} if retries is None else {"retries": retries}
+        try:
+            for res in run_parallel(
+                units,
+                max_workers=workers,
+                progress=progress,
+                ledger=ledger,
+                clock=clock,
+                **kwargs,
+            ):
+                alg, method, _ports, sample, rate = res["key"]
+                accepted, latency = res["accepted"], res["latency"]
+                result.raw.append((alg, method, sample, rate, accepted, latency))
+                acc.setdefault((alg, method, rate), []).append(accepted)
+                lat.setdefault((alg, method, rate), []).append(latency)
+        finally:
+            if ledger is not None:
+                ledger.close()
     else:
         for sample in range(preset.samples):
             topology = make_topology(preset, ports, sample)

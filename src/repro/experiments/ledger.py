@@ -1,0 +1,245 @@
+"""Durable campaign execution: the append-only result ledger.
+
+The paper's evaluation is thousands of independent simulations; an
+archival run takes hours.  Before this module, one worker crash in the
+process pool aborted the whole campaign and discarded every completed
+unit.  The ledger makes unit execution itself durable:
+
+* every completed :class:`~repro.experiments.parallel.WorkUnit` is
+  appended to a JSONL file as soon as it finishes, flushed and
+  ``fsync``'d so a SIGKILL of the whole run loses at most the units
+  still in flight;
+* records are keyed by :func:`unit_digest` — a canonical SHA-256 over
+  the unit *and its preset* (seed included), so a ledger can never
+  silently resume a run with different parameters;
+* every record carries its own checksum; on re-open the ledger replays
+  the file and recovers the longest valid prefix, truncating a torn or
+  corrupted tail exactly like a write-ahead log;
+* on resume, completed digests are skipped and their recorded results
+  are merged back in input order, so a resumed campaign produces
+  byte-identical final artefacts.
+
+The ledger is deliberately dumb: it knows nothing about figures or
+tables, only ``(digest, key, attempt, result)`` tuples.  The retry and
+pool-rebuild machinery lives in :mod:`repro.experiments.parallel`; the
+aggregators in :mod:`~repro.experiments.figure8` /
+:mod:`~repro.experiments.tables` accept records in any order.
+
+Float fidelity: results round-trip through ``json`` ``repr``-based
+float serialisation, which is exact for finite floats; non-finite
+sentinels (``nan`` latency of a zero-delivery run) use the Python JSON
+dialect's ``NaN`` token and survive the round trip too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: bump when the record layout changes; old versions are rejected on load
+LEDGER_VERSION = 1
+
+#: characters of the per-record integrity checksum kept in each line
+_CHECK_LEN = 16
+
+
+def _canonical(obj: object) -> str:
+    """Canonical JSON: sorted keys, no whitespace — digest-stable."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def unit_digest(unit) -> str:
+    """Canonical SHA-256 identity of one work unit.
+
+    Hashes the unit's full dataclass payload — algorithm, method,
+    ports, sample, rate, seed salt *and every preset field including
+    the seed* — so two units collide only when they would simulate the
+    exact same thing.  Used as the ledger key for skip-on-resume.
+    """
+    payload = dataclasses.asdict(unit)
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def _checksum(record: Dict[str, object]) -> str:
+    """Integrity checksum of a record (its canonical form sans ``check``)."""
+    body = {k: v for k, v in record.items() if k != "check"}
+    return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()[:_CHECK_LEN]
+
+
+def _decode_result(result: Dict[str, object]) -> Dict[str, object]:
+    """Undo the JSON round trip: the unit key is a tuple, not a list."""
+    out = dict(result)
+    if isinstance(out.get("key"), list):
+        out["key"] = tuple(out["key"])
+    return out
+
+
+class ResultLedger:
+    """Append-only, fsync'd, corruption-tolerant JSONL result store.
+
+    ``resume=True`` (the default) replays an existing file: every line
+    must parse, carry the current version and verify its checksum; the
+    first bad line and everything after it are treated as a torn tail
+    and truncated away (classic WAL recovery — records past a torn
+    region are suspect, and re-running a unit is always safe).
+    ``resume=False`` truncates the file and starts fresh.
+
+    Attributes after open:
+
+    * ``completed`` — ``{digest: result dict}`` of every ``ok`` record;
+    * ``failed`` — ``{digest: error string}`` of units whose retry
+      budget was exhausted (these are *re-run* on resume, not skipped);
+    * ``attempts`` — ``{digest: attempt}`` of the last record per unit;
+    * ``dropped_lines`` — lines lost to tail truncation on recovery.
+    """
+
+    def __init__(self, path, resume: bool = True) -> None:
+        self.path = Path(path)
+        self.completed: Dict[str, Dict[str, object]] = {}
+        self.failed: Dict[str, str] = {}
+        self.attempts: Dict[str, int] = {}
+        self.dropped_lines = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._recover()
+        elif self.path.exists():
+            self.path.write_bytes(b"")
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- recovery ------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the longest valid prefix; truncate the bad tail."""
+        raw = self.path.read_bytes()
+        good_end = 0
+        pos = 0
+        while pos < len(raw):
+            nl = raw.find(b"\n", pos)
+            if nl < 0:
+                break  # final line never got its newline: torn append
+            line = raw[pos:nl]
+            record = self._parse(line)
+            if record is None:
+                break  # corrupted: drop this line and everything after
+            self._absorb(record)
+            good_end = nl + 1
+            pos = good_end
+        if good_end < len(raw):
+            tail = raw[good_end:]
+            self.dropped_lines = sum(1 for ln in tail.split(b"\n") if ln)
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+
+    @staticmethod
+    def _parse(line: bytes) -> Optional[Dict[str, object]]:
+        """One verified record, or ``None`` for anything suspect."""
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("v") != LEDGER_VERSION:
+            return None
+        if record.get("check") != _checksum(record):
+            return None
+        if record.get("status") not in ("ok", "failed"):
+            return None
+        return record
+
+    def _absorb(self, record: Dict[str, object]) -> None:
+        digest = record["digest"]
+        self.attempts[digest] = int(record.get("attempt", 1))
+        if record["status"] == "ok":
+            self.completed[digest] = _decode_result(record["result"])
+            self.failed.pop(digest, None)
+        elif digest not in self.completed:
+            self.failed[digest] = str(record.get("error", ""))
+
+    # -- appending -----------------------------------------------------
+    def _append(self, record: Dict[str, object]) -> None:
+        record["check"] = _checksum(record)
+        self._fh.write(_canonical(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._absorb(record)
+
+    def append_ok(
+        self,
+        digest: str,
+        key: Tuple,
+        attempt: int,
+        result: Dict[str, object],
+    ) -> None:
+        """Record one completed unit (durable once this returns)."""
+        payload = dict(result)
+        payload["key"] = list(key)
+        self._append(
+            {
+                "v": LEDGER_VERSION,
+                "digest": digest,
+                "key": list(key),
+                "status": "ok",
+                "attempt": attempt,
+                "result": payload,
+            }
+        )
+
+    def append_failed(
+        self, digest: str, key: Tuple, attempt: int, error: str
+    ) -> None:
+        """Record a unit whose retry budget is exhausted.
+
+        Failed units are reported, not resumed-over: a later run with
+        the same ledger retries them from scratch.
+        """
+        self._append(
+            {
+                "v": LEDGER_VERSION,
+                "digest": digest,
+                "key": list(key),
+                "status": "failed",
+                "attempt": attempt,
+                "error": error,
+            }
+        )
+
+    # -- bookkeeping ---------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Compact counts for progress reporting and manifests."""
+        return {
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "dropped_lines": self.dropped_lines,
+        }
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "ResultLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_records(path) -> List[Dict[str, object]]:
+    """Every verified record of a ledger file, in file order.
+
+    Read-only inspection helper (examples, tests, post-mortems); does
+    not truncate anything.
+    """
+    out: List[Dict[str, object]] = []
+    raw = Path(path).read_bytes()
+    for line in raw.split(b"\n"):
+        if not line:
+            continue
+        record = ResultLedger._parse(line)
+        if record is None:
+            break
+        out.append(record)
+    return out

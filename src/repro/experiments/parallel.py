@@ -1,4 +1,4 @@
-"""Parallel experiment execution.
+"""Crash-tolerant parallel experiment execution.
 
 The paper's evaluation is embarrassingly parallel — every (sample,
 algorithm, method, rate) simulation is independent — and the archival
@@ -8,14 +8,40 @@ results bit-identical to the serial harness: every unit re-derives its
 topology/tree/routing from the preset seed inside the worker (cheap
 next to the simulation), so nothing non-picklable crosses process
 boundaries and the scheduling order cannot affect any RNG stream.
+
+Execution is fault-tolerant infrastructure, not a bare ``pool.map``:
+
+* units are submitted individually and collected as they complete, so
+  one unit's failure never discards its siblings' results;
+* a raising unit is retried up to ``retries`` extra attempts; when the
+  budget is exhausted it is *reported* (progress line + ledger record)
+  and the campaign carries on without it;
+* a dying worker process (OOM kill, segfault, SIGKILL) breaks the
+  ``ProcessPoolExecutor``; the runner rebuilds the pool and reschedules
+  every unit that was in flight, charging each one attempt — so a unit
+  that deterministically kills its worker exhausts its own budget
+  instead of looping forever, while innocent bystanders simply re-run;
+* with a :class:`~repro.experiments.ledger.ResultLedger`, results
+  stream to disk (fsync'd) the moment they complete, and units whose
+  digest is already in the ledger are skipped on resume — an
+  interrupted campaign continues where it stopped and merges to
+  byte-identical final outputs.
+
+Progress lines share one format across the serial and pooled paths —
+``[done/total] <key> ok attempt=N`` — so retry activity is visible, and
+an ETA (from the injectable wall clock, never read directly per
+invariant STA001) is appended while units remain.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.configs import ExperimentPreset
 from repro.experiments.harness import (
@@ -24,8 +50,20 @@ from repro.experiments.harness import (
     build_routings,
     make_topology,
 )
+from repro.experiments.ledger import ResultLedger, unit_digest
 from repro.simulator.engine import simulate
 from repro.util.rng import derive_seed
+from repro.util.wallclock import Clock, resolve_clock
+
+#: default extra attempts per unit after its first failure
+DEFAULT_RETRIES = 2
+
+#: test-only fault injection: ``"<algorithm>:<mode>:<max_attempt>"``
+#: where mode is ``raise`` (unit raises) or ``kill`` (worker SIGKILLs
+#: itself, breaking the pool).  Environment variables propagate to pool
+#: workers under every start method, which is why this hook is not a
+#: module global.  Never set outside the test suite.
+TEST_FAULT_ENV = "REPRO_TEST_FAULT"
 
 
 @dataclass(frozen=True)
@@ -81,7 +119,7 @@ def tables_units(
 
 
 def run_unit(unit: WorkUnit) -> Dict[str, object]:
-    """Execute one work unit (also the process-pool entry point).
+    """Execute one work unit.
 
     Rebuilds topology, tree and routing deterministically from the
     preset seed, simulates, and returns a plain dict: the unit key, the
@@ -110,31 +148,203 @@ def run_unit(unit: WorkUnit) -> Dict[str, object]:
     }
 
 
+def execute_unit(unit: WorkUnit, attempt: int = 1) -> Dict[str, object]:
+    """Pool/serial entry point: test fault hook, then :func:`run_unit`."""
+    spec = os.environ.get(TEST_FAULT_ENV)
+    if spec:
+        alg, mode, max_attempt = spec.rsplit(":", 2)
+        if unit.algorithm == alg and attempt <= int(max_attempt):
+            if mode == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise RuntimeError(
+                f"injected test fault: {unit.key()} attempt={attempt}"
+            )
+    return run_unit(unit)
+
+
+def default_max_workers() -> int:
+    """Worker count respecting cgroup/affinity CPU limits.
+
+    ``os.cpu_count()`` reports the machine, not the process: in a CI
+    container pinned to 2 of 64 cores it would oversubscribe 32x.
+    ``os.sched_getaffinity(0)`` reports the usable set where the
+    platform provides it (Linux); elsewhere fall back to ``cpu_count``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def run_parallel(
     units: Iterable[WorkUnit],
     max_workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    *,
+    ledger: Optional[ResultLedger] = None,
+    retries: int = DEFAULT_RETRIES,
+    clock: Optional[Clock] = None,
 ) -> List[Dict[str, object]]:
-    """Run *units* over a process pool; order of results matches input.
+    """Run *units*; results are returned in input order.
 
-    ``max_workers`` defaults to ``os.cpu_count()``.  With one worker the
-    pool is skipped entirely (same code path as the serial harness —
-    useful under debuggers and in tests).
+    ``max_workers`` defaults to the process's usable CPU count
+    (:func:`default_max_workers`).  With one worker (or one pending
+    unit) the pool is skipped entirely — same code path as the serial
+    harness, same retry/ledger semantics, useful under debuggers.
+
+    *ledger* streams every completed unit to disk and, when it was
+    opened with ``resume=True``, skips units already recorded — the
+    recorded results are merged back in input order, so aggregates are
+    byte-identical to an uninterrupted run.  *retries* bounds extra
+    attempts per unit; a unit that exhausts them is reported (and
+    written to the ledger as ``failed``) without aborting the rest, so
+    the returned list simply omits it.  *clock* injects the ETA timer
+    (defaults to the sanctioned wall clock).
     """
     units = list(units)
+    total = len(units)
+    say = progress or (lambda msg: None)
+    tick = resolve_clock(clock)
+    retries = max(0, retries)
     if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    if max_workers <= 1 or len(units) <= 1:
-        out = []
-        for i, u in enumerate(units):
-            out.append(run_unit(u))
-            if progress:
-                progress(f"[{i + 1}/{len(units)}] {u.key()}")
-        return out
-    results: List[Dict[str, object]] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for i, res in enumerate(pool.map(run_unit, units, chunksize=1)):
-            results.append(res)
-            if progress:
-                progress(f"[{i + 1}/{len(units)}] {res['key']}")
-    return results
+        max_workers = default_max_workers()
+
+    digests = [unit_digest(u) for u in units] if ledger is not None else None
+    results_by_idx: Dict[int, Dict[str, object]] = {}
+    done_count = 0
+    failed_count = 0
+    pending_idx: List[int] = []
+
+    # resume pass: merge completed units straight from the ledger
+    for i, unit in enumerate(units):
+        recorded = (
+            ledger.completed.get(digests[i]) if ledger is not None else None
+        )
+        if recorded is not None:
+            results_by_idx[i] = recorded
+            done_count += 1
+            attempt = ledger.attempts.get(digests[i], 1)
+            say(
+                f"[{done_count}/{total}] {unit.key()} "
+                f"resumed attempt={attempt}"
+            )
+        else:
+            pending_idx.append(i)
+
+    t0 = tick()
+    fresh_done = 0
+
+    def finish_ok(idx: int, attempt: int, res: Dict[str, object]) -> None:
+        nonlocal done_count, fresh_done
+        if ledger is not None:
+            ledger.append_ok(digests[idx], units[idx].key(), attempt, res)
+        results_by_idx[idx] = res
+        done_count += 1
+        fresh_done += 1
+        remaining = total - done_count - failed_count
+        eta = ""
+        elapsed = tick() - t0
+        if remaining > 0 and fresh_done > 0 and elapsed > 0:
+            eta = f" eta=~{elapsed / fresh_done * remaining:.0f}s"
+        say(
+            f"[{done_count}/{total}] {units[idx].key()} "
+            f"ok attempt={attempt}{eta}"
+        )
+
+    def finish_failed(idx: int, attempt: int, exc: BaseException) -> None:
+        nonlocal failed_count
+        failed_count += 1
+        if ledger is not None:
+            ledger.append_failed(
+                digests[idx], units[idx].key(), attempt, repr(exc)
+            )
+        say(
+            f"[{done_count}/{total}] {units[idx].key()} "
+            f"FAILED attempt={attempt}: {exc!r}"
+        )
+
+    if max_workers <= 1 or len(pending_idx) <= 1:
+        for i in pending_idx:
+            attempt = 1
+            while True:
+                try:
+                    res = execute_unit(units[i], attempt)
+                except Exception as exc:
+                    if attempt > retries:
+                        finish_failed(i, attempt, exc)
+                        break
+                    say(
+                        f"[retry] {units[i].key()} attempt={attempt} "
+                        f"raised {exc!r}; retrying"
+                    )
+                    attempt += 1
+                    continue
+                finish_ok(i, attempt, res)
+                break
+        return [results_by_idx[i] for i in sorted(results_by_idx)]
+
+    pending: Deque[Tuple[int, int]] = deque((i, 1) for i in pending_idx)
+    in_flight: Dict[Future, Tuple[int, int]] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+
+    def requeue(idx: int, attempt: int, exc: BaseException) -> None:
+        if attempt > retries:
+            finish_failed(idx, attempt, exc)
+        else:
+            say(
+                f"[retry] {units[idx].key()} attempt={attempt} "
+                f"raised {exc!r}; retrying"
+            )
+            pending.append((idx, attempt + 1))
+
+    def collect(fut: Future, idx: int, attempt: int) -> bool:
+        """Fold one settled future in; True when the pool broke."""
+        try:
+            res = fut.result()
+        except BrokenProcessPool as exc:
+            requeue(idx, attempt, exc)
+            return True
+        except Exception as exc:
+            requeue(idx, attempt, exc)
+            return False
+        finish_ok(idx, attempt, res)
+        return False
+
+    try:
+        while pending or in_flight:
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+            broken = False
+            while pending and not broken:
+                i, attempt = pending.popleft()
+                try:
+                    fut = pool.submit(execute_unit, units[i], attempt)
+                except (BrokenProcessPool, RuntimeError):
+                    pending.appendleft((i, attempt))
+                    broken = True
+                else:
+                    in_flight[fut] = (i, attempt)
+            if in_flight and not broken:
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i, attempt = in_flight.pop(fut)
+                    broken |= collect(fut, i, attempt)
+            if broken:
+                # every surviving future of a broken pool is doomed:
+                # drain them all, then rebuild from scratch
+                say(
+                    "[pool] worker process died; rebuilding pool "
+                    f"({len(in_flight)} unit(s) rescheduled)"
+                )
+                if in_flight:
+                    wait(set(in_flight))
+                    for fut, (i, attempt) in list(in_flight.items()):
+                        collect(fut, i, attempt)
+                    in_flight.clear()
+                pool.shutdown(wait=False)
+                pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    return [results_by_idx[i] for i in sorted(results_by_idx)]

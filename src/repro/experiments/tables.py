@@ -89,25 +89,54 @@ def run_tables(
     out_dir: Optional[Path] = None,
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
+    ledger_path: Optional[Path] = None,
+    resume: bool = True,
+    retries: Optional[int] = None,
+    clock=None,
 ) -> TablesResult:
     """Regenerate Tables 1-4 by simulation at saturation.
 
     ``workers > 1`` distributes the saturated runs over a process pool
-    (:mod:`repro.experiments.parallel`).
+    (:mod:`repro.experiments.parallel`).  *ledger_path* streams every
+    completed unit to a durable
+    :class:`~repro.experiments.ledger.ResultLedger` and (with *resume*)
+    skips units already recorded, merging them back in input order —
+    the aggregation keys on the unit tuple, so records are accepted in
+    any order and a resumed run reproduces an uninterrupted one
+    byte-identically.  *retries*/*clock* as in
+    :func:`~repro.experiments.figure8.run_figure8`.
     """
     ports_list = tuple(ports_list if ports_list is not None else preset.ports)
     result = TablesResult(preset=preset.name, kind="simulated", samples=preset.samples)
     thr: Dict[Tuple[str, str, int], List[float]] = {}
 
-    if workers > 1:
+    if workers > 1 or ledger_path is not None:
+        from repro.experiments.ledger import ResultLedger
         from repro.experiments.parallel import run_parallel, tables_units
 
         units = tables_units(preset, ports_list, methods, algorithms)
-        for res in run_parallel(units, max_workers=workers, progress=progress):
-            alg, method, ports, sample, _rate = res["key"]
-            for metric, value in res["report"].items():
-                result.raw.append((metric, alg, method, ports, sample, value))
-            thr.setdefault((alg, method, ports), []).append(res["accepted"])
+        ledger = (
+            ResultLedger(ledger_path, resume=resume)
+            if ledger_path is not None
+            else None
+        )
+        kwargs = {} if retries is None else {"retries": retries}
+        try:
+            for res in run_parallel(
+                units,
+                max_workers=workers,
+                progress=progress,
+                ledger=ledger,
+                clock=clock,
+                **kwargs,
+            ):
+                alg, method, ports, sample, _rate = res["key"]
+                for metric, value in res["report"].items():
+                    result.raw.append((metric, alg, method, ports, sample, value))
+                thr.setdefault((alg, method, ports), []).append(res["accepted"])
+        finally:
+            if ledger is not None:
+                ledger.close()
         _aggregate(result)
         for key, vals in thr.items():
             result.throughput[key] = sum(vals) / len(vals)

@@ -97,7 +97,14 @@ def saturation_shift(
 
 
 def degradation_report(stats: SimulationStats) -> dict:
-    """Compact dict of the per-run degradation numbers."""
+    """Compact dict of the per-run degradation numbers.
+
+    Total-loss runs are legal inputs: under an aggressive enough fault
+    schedule *zero* packets are delivered, and every ratio here
+    degrades to its sentinel (``delivered_fraction`` from the resolved
+    count only, latency means to ``nan``) instead of raising — campaign
+    code must be able to record such a run and move on.
+    """
     lat = reconfiguration_latencies(stats)
     return {
         "delivered_fraction": stats.delivered_fraction,

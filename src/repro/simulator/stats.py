@@ -231,22 +231,30 @@ class SimulationStats:
 
     @property
     def average_latency(self) -> float:
-        """Mean message latency (generation to last flit consumed)."""
-        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+        """Mean message latency (generation to last flit consumed).
+
+        ``nan`` sentinel when no packet was delivered during the window
+        — reachable under aggressive fault schedules (every generated
+        packet dropped or lost) — so campaign code records the sentinel
+        instead of raising mid-run.
+        """
+        if self.delivered_packets <= 0 or not self.latencies:
+            return float("nan")
+        return float(np.mean(self.latencies))
 
     @property
     def p99_latency(self) -> float:
-        """99th-percentile message latency."""
-        return (
-            float(np.percentile(self.latencies, 99))
-            if self.latencies
-            else float("nan")
-        )
+        """99th-percentile message latency (``nan`` when none delivered)."""
+        if self.delivered_packets <= 0 or not self.latencies:
+            return float("nan")
+        return float(np.percentile(self.latencies, 99))
 
     @property
     def average_hops(self) -> float:
-        """Mean header hop count of delivered packets."""
-        return float(np.mean(self.hop_counts)) if self.hop_counts else float("nan")
+        """Mean header hop count (``nan`` when none delivered)."""
+        if not self.hop_counts:
+            return float("nan")
+        return float(np.mean(self.hop_counts))
 
     @property
     def delivered_fraction(self) -> float:

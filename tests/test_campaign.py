@@ -86,3 +86,46 @@ def test_campaign_cli(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "artefacts in" in out
     assert (tmp_path / "manifest.json").exists()
+
+
+def test_campaign_writes_unit_ledgers(tiny, tmp_path):
+    """Simulation stages stream units to durable per-stage ledgers."""
+    from repro.experiments.ledger import read_records
+
+    run_campaign(tiny, tmp_path)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    for stage in ("figure8-4port", "tables"):
+        name = manifest["stages"][stage]["ledger"]
+        records = read_records(tmp_path / name)
+        assert records and all(r["status"] == "ok" for r in records)
+    assert "ledger" not in manifest["stages"]["static-tables"]
+
+
+def test_campaign_stage_rerun_resumes_from_ledger(tiny, tmp_path):
+    """A lost artefact is rebuilt from the ledger without re-simulating."""
+    from repro.experiments.ledger import read_records
+
+    run_campaign(tiny, tmp_path)
+    csv_before = (tmp_path / "figure8_4port.csv").read_text()
+    n_records = len(read_records(tmp_path / "ledger_figure8_4port.jsonl"))
+    (tmp_path / "figure8_4port.csv").unlink()
+    lines = []
+    stages = run_campaign(tiny, tmp_path, progress=lines.append)
+    fig8 = next(s for s in stages if s.name == "figure8-4port")
+    assert not fig8.skipped
+    # byte-identical artefact, every unit resumed, nothing re-recorded
+    assert (tmp_path / "figure8_4port.csv").read_text() == csv_before
+    assert sum("resumed" in ln for ln in lines) == n_records
+    assert len(read_records(tmp_path / "ledger_figure8_4port.jsonl")) == n_records
+
+
+def test_campaign_force_restarts_ledgers(tiny, tmp_path):
+    from repro.experiments.ledger import read_records
+
+    run_campaign(tiny, tmp_path)
+    n_records = len(read_records(tmp_path / "ledger_tables.jsonl"))
+    run_campaign(tiny, tmp_path, force=True)
+    # truncated and rewritten: same unit set, no duplicates
+    records = read_records(tmp_path / "ledger_tables.jsonl")
+    assert len(records) == n_records
+    assert len({r["digest"] for r in records}) == n_records

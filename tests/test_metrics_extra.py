@@ -115,3 +115,61 @@ class TestSaturationSearch:
         )
         knee = find_saturation_point(r, cfg, lo=0.0, hi=0.04, max_iterations=4)
         assert knee.offered <= 0.04
+
+
+class TestZeroDeliveredSentinels:
+    """Total-loss windows (aggressive fault schedules) must not raise.
+
+    Campaign code records sentinel values — ``nan`` latencies, ratio
+    fallbacks — for a run in which no packet was delivered, instead of
+    dying on a ZeroDivisionError mid-campaign.
+    """
+
+    def _empty_stats(self, small_irregular):
+        from repro.simulator.stats import StatsCollector
+
+        collector = StatsCollector(small_irregular)
+        collector.active = True
+        collector.window_clocks = 100
+        collector.on_generate(dropped=True)
+        collector.on_fault_drop()
+        collector.on_lost()
+        return collector.finalize(queue_backlog=0)
+
+    def test_latency_sentinels(self, small_irregular):
+        import math
+
+        stats = self._empty_stats(small_irregular)
+        assert stats.delivered_packets == 0
+        assert math.isnan(stats.average_latency)
+        assert math.isnan(stats.p99_latency)
+        assert math.isnan(stats.average_hops)
+        assert stats.accepted_traffic == 0.0
+        assert stats.delivered_fraction == 0.0  # one packet lost for good
+
+    def test_degradation_report_total_loss(self, small_irregular):
+        from repro.metrics.degradation import degradation_report
+
+        report = degradation_report(self._empty_stats(small_irregular))
+        assert report["delivered_fraction"] == 0.0
+        assert report["lost_packets"] == 1
+
+    def test_summary_and_ledger_record_survive(self, small_irregular, tmp_path):
+        """The sentinel run round-trips through the durable ledger."""
+        import math
+
+        from repro.experiments.ledger import ResultLedger
+
+        stats = self._empty_stats(small_irregular)
+        key = ("down-up", "M1", 4, 0, 0.05)
+        result = {
+            "key": key,
+            "accepted": stats.accepted_traffic,
+            "latency": stats.average_latency,
+        }
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as led:
+            led.append_ok("d1", key, 1, result)
+        reread = ResultLedger(path).completed["d1"]
+        assert math.isnan(reread["latency"])
+        assert reread["accepted"] == 0.0
