@@ -45,10 +45,12 @@ def main() -> None:
 
     print("\n== act 1: run with the L-turn units rigged to crash")
     os.environ[TEST_FAULT_ENV] = "l-turn:raise:99"  # every attempt raises
+    failures = []  # run_parallel reports exhausted units here
     try:
         with ResultLedger(ledger_path) as ledger:
             partial = run_parallel(
-                units, max_workers=1, progress=print, ledger=ledger, retries=1
+                units, max_workers=1, progress=print, ledger=ledger,
+                retries=1, failures=failures,
             )
             tally = ledger.summary()
     finally:
@@ -57,6 +59,9 @@ def main() -> None:
         f"   survived: {len(partial)}/{len(units)} results, ledger says "
         f"{tally['completed']} completed / {tally['failed']} failed"
     )
+    assert len(failures) == tally["failed"], "failures surface to the caller"
+    for f in failures:
+        print(f"   reported: {f.key} after {f.attempts} attempt(s)")
 
     print("\n== act 2: resume with the fault gone")
     with ResultLedger(ledger_path) as ledger:

@@ -31,8 +31,14 @@ from repro.experiments.live_resilience import (
     run_live_fault_campaign,
 )
 from repro.experiments.tables import TablesResult, run_static_tables, run_tables
-from repro.experiments.ledger import ResultLedger, read_records, unit_digest
+from repro.experiments.ledger import (
+    LedgerLockedError,
+    ResultLedger,
+    read_records,
+    unit_digest,
+)
 from repro.experiments.parallel import (
+    UnitFailure,
     WorkUnit,
     default_max_workers,
     figure8_units,
@@ -66,11 +72,13 @@ __all__ = [
     "run_tables",
     "run_static_tables",
     "WorkUnit",
+    "UnitFailure",
     "figure8_units",
     "tables_units",
     "run_parallel",
     "default_max_workers",
     "ResultLedger",
+    "LedgerLockedError",
     "read_records",
     "unit_digest",
     "Summary",

@@ -198,6 +198,28 @@ def _progress(quiet: bool):
     return (lambda msg: None) if quiet else (lambda msg: print(msg, flush=True))
 
 
+def _report_failures(failures) -> int:
+    """Print exhausted units to stderr; nonzero when any exist.
+
+    Emitted even under ``--quiet``: artefacts from a partially-failed
+    run cover fewer samples than requested, and that must never look
+    like success (exit code 0 / silence).
+    """
+    if not failures:
+        return 0
+    print(
+        f"ERROR: {len(failures)} work unit(s) exhausted their retry "
+        "budget; artefacts cover fewer samples than requested",
+        file=sys.stderr,
+    )
+    for f in failures:
+        print(
+            f"  {f.key} after {f.attempts} attempt(s): {f.error}",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def _cmd_figure8(args) -> int:
     preset = get_preset(args.preset)
     if args.samples:
@@ -217,7 +239,7 @@ def _cmd_figure8(args) -> int:
     print(result.to_ascii())
     print()
     print(render_figure8_summary(result))
-    return 0
+    return _report_failures(result.failures)
 
 
 def _cmd_tables(args, static: bool) -> int:
@@ -250,7 +272,7 @@ def _cmd_tables(args, static: bool) -> int:
     win = winners(result, ports_list)
     for metric, alg in sorted(win.items()):
         print(f"winner[{metric}] = {alg}")
-    return 0
+    return _report_failures(result.failures)
 
 
 def _make_traffic(name: str, n: int):
@@ -340,9 +362,10 @@ def _cmd_campaign(args) -> int:
     )
     for st in stages:
         state = "skipped" if st.skipped else f"{st.seconds:.1f}s"
-        print(f"{st.name:18s} {state}")
+        suffix = f"  ({len(st.failures)} unit(s) FAILED)" if st.failures else ""
+        print(f"{st.name:18s} {state}{suffix}")
     print(f"artefacts in {out}")
-    return 0
+    return _report_failures([f for st in stages for f in st.failures])
 
 
 def _cmd_live_faults(args) -> int:

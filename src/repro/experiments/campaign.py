@@ -34,12 +34,19 @@ from repro.experiments.tables import run_static_tables, run_tables
 
 @dataclass
 class StageResult:
-    """Bookkeeping for one campaign stage."""
+    """Bookkeeping for one campaign stage.
+
+    ``failures`` lists the stage's work units that exhausted their
+    retry budget (see
+    :class:`~repro.experiments.parallel.UnitFailure`); the CLI exits
+    nonzero when any stage reports one.
+    """
 
     name: str
     skipped: bool
     seconds: float
     artefacts: List[str] = field(default_factory=list)
+    failures: List[object] = field(default_factory=list)
 
 
 def _stage_done(out_dir: Path, artefacts: Sequence[str]) -> bool:
@@ -76,8 +83,10 @@ def run_campaign(
     per-unit crash re-attempts.
 
     A ``manifest.json`` records preset parameters, stage timings,
-    ledger tallies and the winner summary, so the directory is
-    self-describing.  *clock* injects the stage timer (defaults to the
+    ledger tallies, any units that exhausted their retry budget
+    (``failed_units`` per stage — also surfaced on each
+    :class:`StageResult` and turned into a nonzero CLI exit) and the
+    winner summary, so the directory is self-describing.  *clock* injects the stage timer (defaults to the
     real wall clock); tests pass a fake for deterministic timings.
     """
     out_dir = Path(out_dir)
@@ -85,6 +94,8 @@ def run_campaign(
     say = progress or (lambda msg: None)
     tick = resolve_clock(clock)
     results: List[StageResult] = []
+
+    stage_failures: Dict[str, List] = {}
 
     def stage(name: str, artefacts: Sequence[str], fn: Callable[[], None]) -> None:
         if not force and _stage_done(out_dir, artefacts):
@@ -95,7 +106,10 @@ def run_campaign(
         t0 = tick()
         fn()
         results.append(
-            StageResult(name, False, tick() - t0, list(artefacts))
+            StageResult(
+                name, False, tick() - t0, list(artefacts),
+                failures=stage_failures.get(name, []),
+            )
         )
 
     manifest: Dict[str, object] = {
@@ -127,6 +141,7 @@ def run_campaign(
                 ledger_path=stage_ledger(f"figure8-{ports}port"),
                 resume=not force, retries=retries,
             )
+            stage_failures[f"figure8-{ports}port"] = result.failures
             (out_dir / f"figure8_{ports}port_summary.txt").write_text(
                 render_figure8_summary(result) + "\n", encoding="utf-8"
             )
@@ -145,6 +160,7 @@ def run_campaign(
             ledger_path=stage_ledger("tables"),
             resume=not force, retries=retries,
         )
+        stage_failures["tables"] = result.failures
         from repro.experiments.harness import PAPER_ALGORITHMS
 
         (out_dir / "tables_simulated.txt").write_text(
@@ -173,6 +189,11 @@ def run_campaign(
             "skipped": r.skipped,
             "seconds": round(r.seconds, 2),
             **({"ledger": ledgers[r.name]} if r.name in ledgers else {}),
+            **(
+                {"failed_units": [f.as_dict() for f in r.failures]}
+                if r.failures
+                else {}
+            ),
         }
         for r in results
     }

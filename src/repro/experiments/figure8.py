@@ -13,9 +13,21 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.experiments.configs import ExperimentPreset
+
+if TYPE_CHECKING:  # import cycle-free annotation only
+    from repro.experiments.parallel import UnitFailure
 from repro.experiments.harness import (
     PAPER_ALGORITHMS,
     PAPER_METHODS,
@@ -35,7 +47,10 @@ class Figure8Result:
     ``series`` maps ``"<algorithm>/<method>"`` to a list of
     ``(accepted_traffic, average_latency)`` points averaged over
     samples, ordered by offered load.  ``raw`` keeps every per-sample
-    point for statistical post-processing.
+    point for statistical post-processing.  ``failures`` lists every
+    work unit that exhausted its retry budget (empty on a clean run):
+    when non-empty the aggregates cover fewer samples than requested
+    and callers must surface that — the CLI exits nonzero.
     """
 
     ports: int
@@ -44,6 +59,7 @@ class Figure8Result:
     raw: List[Tuple[str, str, int, float, float, float]] = field(
         default_factory=list
     )  # (algorithm, method, sample, offered, accepted, latency)
+    failures: List["UnitFailure"] = field(default_factory=list)
 
     def saturation_throughput(self, key: str) -> float:
         """Max mean accepted traffic of one series."""
@@ -115,7 +131,9 @@ def run_figure8(
     aggregation below keys on the unit tuple, so it accepts ledger
     records in any order.  *retries* bounds per-unit re-attempts after
     a crash (default :data:`~repro.experiments.parallel.DEFAULT_RETRIES`);
-    *clock* injects the progress/ETA timer.
+    units that exhaust it are collected in ``result.failures`` (the
+    CLI turns a non-empty list into a nonzero exit).  *clock* injects
+    the progress/ETA timer.
     """
     result = Figure8Result(ports=ports, preset=preset.name)
     rates = preset.rates_for(ports)
@@ -140,6 +158,7 @@ def run_figure8(
                 progress=progress,
                 ledger=ledger,
                 clock=clock,
+                failures=result.failures,
                 **kwargs,
             ):
                 alg, method, _ports, sample, rate = res["key"]

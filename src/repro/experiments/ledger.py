@@ -28,7 +28,18 @@ aggregators in :mod:`~repro.experiments.figure8` /
 Float fidelity: results round-trip through ``json`` ``repr``-based
 float serialisation, which is exact for finite floats; non-finite
 sentinels (``nan`` latency of a zero-delivery run) use the Python JSON
-dialect's ``NaN`` token and survive the round trip too.
+dialect's ``NaN`` token and survive the round trip too.  Records are
+written with their dict insertion order *preserved* (only the
+checksums canonicalise): a result decoded from the ledger iterates in
+exactly the order the worker produced, so consumers that serialise
+dict iteration order verbatim (the tables CSV) stay byte-identical
+between a fresh and a resumed run.
+
+A ledger has exactly one writer.  Opening takes a non-blocking
+advisory lock (``fcntl.flock`` where available) held until ``close``;
+a second process pointed at the same file fails fast with
+:class:`LedgerLockedError` instead of interleaving fsync'd lines and
+tearing each other's records.
 """
 
 from __future__ import annotations
@@ -40,6 +51,11 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+try:  # advisory single-writer locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 #: bump when the record layout changes; old versions are rejected on load
 LEDGER_VERSION = 1
 
@@ -47,9 +63,23 @@ LEDGER_VERSION = 1
 _CHECK_LEN = 16
 
 
+class LedgerLockedError(RuntimeError):
+    """The ledger file is already locked by another live writer."""
+
+
 def _canonical(obj: object) -> str:
     """Canonical JSON: sorted keys, no whitespace — digest-stable."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _encode(record: Dict[str, object]) -> str:
+    """On-disk form: compact JSON with insertion order *preserved*.
+
+    Only :func:`_canonical` (digests, checksums) sorts keys; the stored
+    line keeps the order the record was built in, so nested result
+    dicts iterate identically before and after a ledger round trip.
+    """
+    return json.dumps(record, separators=(",", ":"))
 
 
 def unit_digest(unit) -> str:
@@ -95,6 +125,12 @@ class ResultLedger:
       budget was exhausted (these are *re-run* on resume, not skipped);
     * ``attempts`` — ``{digest: attempt}`` of the last record per unit;
     * ``dropped_lines`` — lines lost to tail truncation on recovery.
+
+    The open handle holds an exclusive advisory lock (where the
+    platform provides ``fcntl``) until :meth:`close`: two runs pointed
+    at the same ledger would interleave appends and tear each other's
+    records, so the second opener fails fast with
+    :class:`LedgerLockedError` instead.
     """
 
     def __init__(self, path, resume: bool = True) -> None:
@@ -104,11 +140,31 @@ class ResultLedger:
         self.attempts: Dict[str, int] = {}
         self.dropped_lines = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        if resume and self.path.exists():
-            self._recover()
-        elif self.path.exists():
-            self.path.write_bytes(b"")
+        # open + lock before recovery/truncation so two concurrent
+        # openers cannot both rewrite the file
         self._fh = open(self.path, "a", encoding="utf-8")
+        try:
+            self._lock()
+            if resume:
+                self._recover()
+            else:
+                os.truncate(self.path, 0)
+        except BaseException:
+            self._fh.close()
+            raise
+
+    def _lock(self) -> None:
+        """Exclusive, non-blocking advisory lock on the open handle."""
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        try:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            raise LedgerLockedError(
+                f"ledger {self.path} is locked by another process; a "
+                "ledger has exactly one writer (is another run resuming "
+                "from the same file?)"
+            ) from exc
 
     # -- recovery ------------------------------------------------------
     def _recover(self) -> None:
@@ -162,7 +218,7 @@ class ResultLedger:
     # -- appending -----------------------------------------------------
     def _append(self, record: Dict[str, object]) -> None:
         record["check"] = _checksum(record)
-        self._fh.write(_canonical(record) + "\n")
+        self._fh.write(_encode(record) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
         self._absorb(record)

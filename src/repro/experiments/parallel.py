@@ -14,13 +14,18 @@ Execution is fault-tolerant infrastructure, not a bare ``pool.map``:
 * units are submitted individually and collected as they complete, so
   one unit's failure never discards its siblings' results;
 * a raising unit is retried up to ``retries`` extra attempts; when the
-  budget is exhausted it is *reported* (progress line + ledger record)
-  and the campaign carries on without it;
+  budget is exhausted it is *reported* — progress line, ledger record,
+  and a :class:`UnitFailure` in the caller's ``failures`` collector so
+  artefact writers and the CLI can refuse to pass silently — and the
+  campaign carries on without it;
 * a dying worker process (OOM kill, segfault, SIGKILL) breaks the
   ``ProcessPoolExecutor``; the runner rebuilds the pool and reschedules
   every unit that was in flight, charging each one attempt — so a unit
   that deterministically kills its worker exhausts its own budget
-  instead of looping forever, while innocent bystanders simply re-run;
+  instead of looping forever, while innocent bystanders simply re-run.
+  Submission is throttled to the pool width: at most ``max_workers``
+  units are ever in flight, so a pool break charges only the units a
+  worker could actually have been running, never the whole queue;
 * with a :class:`~repro.experiments.ledger.ResultLedger`, results
   stream to disk (fsync'd) the moment they complete, and units whose
   digest is already in the ledger are skipped on resume — an
@@ -82,6 +87,29 @@ class WorkUnit:
 
     def key(self) -> Tuple[str, str, int, int, float]:
         return (self.algorithm, self.method, self.ports, self.sample, self.rate)
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One work unit that exhausted its retry budget.
+
+    Collected by :func:`run_parallel` into the caller-supplied
+    ``failures`` list; the aggregators attach them to their result
+    objects and the CLI exits nonzero when any are present, so a
+    partially-failed campaign can never masquerade as a complete one.
+    """
+
+    key: Tuple[str, str, int, int, float]
+    attempts: int
+    error: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (campaign manifests)."""
+        return {
+            "key": list(self.key),
+            "attempts": self.attempts,
+            "error": self.error,
+        }
 
 
 def figure8_units(
@@ -184,6 +212,7 @@ def run_parallel(
     ledger: Optional[ResultLedger] = None,
     retries: int = DEFAULT_RETRIES,
     clock: Optional[Clock] = None,
+    failures: Optional[List[UnitFailure]] = None,
 ) -> List[Dict[str, object]]:
     """Run *units*; results are returned in input order.
 
@@ -197,9 +226,11 @@ def run_parallel(
     recorded results are merged back in input order, so aggregates are
     byte-identical to an uninterrupted run.  *retries* bounds extra
     attempts per unit; a unit that exhausts them is reported (and
-    written to the ledger as ``failed``) without aborting the rest, so
-    the returned list simply omits it.  *clock* injects the ETA timer
-    (defaults to the sanctioned wall clock).
+    written to the ledger as ``failed``) without aborting the rest —
+    the returned list omits it, and a :class:`UnitFailure` is appended
+    to *failures* when the caller supplies that list, so failure never
+    has to be inferred from a shorter result list.  *clock* injects
+    the ETA timer (defaults to the sanctioned wall clock).
     """
     units = list(units)
     total = len(units)
@@ -258,6 +289,8 @@ def run_parallel(
             ledger.append_failed(
                 digests[idx], units[idx].key(), attempt, repr(exc)
             )
+        if failures is not None:
+            failures.append(UnitFailure(units[idx].key(), attempt, repr(exc)))
         say(
             f"[{done_count}/{total}] {units[idx].key()} "
             f"FAILED attempt={attempt}: {exc!r}"
@@ -315,7 +348,10 @@ def run_parallel(
             if pool is None:
                 pool = ProcessPoolExecutor(max_workers=max_workers)
             broken = False
-            while pending and not broken:
+            # throttle submission to the pool width: a queued-but-not-
+            # started future would be charged an attempt when the pool
+            # breaks, so never expose more units than workers exist
+            while pending and not broken and len(in_flight) < max_workers:
                 i, attempt = pending.popleft()
                 try:
                     fut = pool.submit(execute_unit, units[i], attempt)
@@ -345,6 +381,9 @@ def run_parallel(
                 pool = None
     finally:
         if pool is not None:
-            pool.shutdown(wait=False)
+            # join the workers: they inherit open fds (ledger lock
+            # included) on fork, so the caller may close/reopen the
+            # ledger the moment this returns
+            pool.shutdown(wait=True)
 
     return [results_by_idx[i] for i in sorted(results_by_idx)]

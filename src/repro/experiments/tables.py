@@ -19,7 +19,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.analysis.static_load import static_utilization_report
 from repro.experiments.configs import ExperimentPreset
@@ -33,6 +41,9 @@ from repro.metrics.saturation import measure_at_saturation
 from repro.metrics.utilization import utilization_report
 from repro.util.rng import derive_seed
 from repro.util.tables import format_csv
+
+if TYPE_CHECKING:  # import cycle-free annotation only
+    from repro.experiments.parallel import UnitFailure
 
 #: metric key -> (paper table number, pretty title)
 TABLE_METRICS: Dict[str, Tuple[int, str]] = {
@@ -50,6 +61,9 @@ class TablesResult:
     ``values[(metric, algorithm, method, ports)]`` is the mean over
     samples; ``throughput[(algorithm, method, ports)]`` records the
     accepted traffic of the saturated runs (context for EXPERIMENTS.md).
+    ``failures`` lists every work unit that exhausted its retry budget
+    (empty on a clean run); when non-empty the means cover fewer
+    samples than requested and the CLI exits nonzero.
     """
 
     preset: str
@@ -60,6 +74,7 @@ class TablesResult:
     raw: List[Tuple[str, str, str, int, int, float]] = field(
         default_factory=list
     )  # (metric, algorithm, method, ports, sample, value)
+    failures: List["UnitFailure"] = field(default_factory=list)
 
     def value(self, metric: str, algorithm: str, method: str, ports: int) -> float:
         """Mean value of one cell of a paper table."""
@@ -71,6 +86,19 @@ class TablesResult:
             ("metric", "algorithm", "method", "ports", "sample", "value"),
             self.raw,
         )
+
+
+def _metric_order(report: Dict[str, float]) -> List[str]:
+    """CSV row order for one unit's metrics.
+
+    Canonical (:data:`TABLE_METRICS` first, extras after) rather than
+    the report dict's iteration order, so a unit merged back from a
+    JSON-round-tripped ledger record emits its rows exactly like a
+    freshly simulated one — byte-identity of ``tables_simulated.csv``
+    between resumed and uninterrupted runs depends on it.
+    """
+    ordered = [m for m in TABLE_METRICS if m in report]
+    return ordered + [m for m in report if m not in TABLE_METRICS]
 
 
 def _aggregate(result: TablesResult) -> None:
@@ -128,11 +156,15 @@ def run_tables(
                 progress=progress,
                 ledger=ledger,
                 clock=clock,
+                failures=result.failures,
                 **kwargs,
             ):
                 alg, method, ports, sample, _rate = res["key"]
-                for metric, value in res["report"].items():
-                    result.raw.append((metric, alg, method, ports, sample, value))
+                report = dict(res["report"])
+                for metric in _metric_order(report):
+                    result.raw.append(
+                        (metric, alg, method, ports, sample, report[metric])
+                    )
                 thr.setdefault((alg, method, ports), []).append(res["accepted"])
         finally:
             if ledger is not None:
@@ -159,9 +191,9 @@ def run_tables(
                 cfg = preset.sim_config(seed)
                 stats = measure_at_saturation(routing, cfg)
                 report = utilization_report(stats.channel_utilization(), tree)
-                for metric, value in report.items():
+                for metric in _metric_order(report):
                     result.raw.append(
-                        (metric, alg, method, ports, sample, value)
+                        (metric, alg, method, ports, sample, report[metric])
                     )
                 thr.setdefault((alg, method, ports), []).append(
                     stats.accepted_traffic
@@ -205,9 +237,9 @@ def run_static_tables(
             )
             for (alg, method), (routing, tree) in routings.items():
                 report = static_utilization_report(routing, tree)
-                for metric, value in report.items():
+                for metric in _metric_order(report):
                     result.raw.append(
-                        (metric, alg, method, ports, sample, value)
+                        (metric, alg, method, ports, sample, report[metric])
                     )
                 if progress is not None:
                     progress(

@@ -10,6 +10,7 @@ aggregates are bit-identical to an uninterrupted run's.
 import json
 import math
 import os
+import re
 
 import pytest
 
@@ -17,18 +18,21 @@ from repro.experiments.configs import get_preset
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.ledger import (
     LEDGER_VERSION,
+    LedgerLockedError,
     ResultLedger,
     read_records,
     unit_digest,
 )
 from repro.experiments.parallel import (
     TEST_FAULT_ENV,
+    UnitFailure,
     WorkUnit,
     default_max_workers,
     figure8_units,
     run_parallel,
     run_unit,
 )
+from repro.experiments.tables import run_tables
 
 
 @pytest.fixture(scope="module")
@@ -173,6 +177,41 @@ class TestLedgerFile:
         assert "d1" in reopened.completed and "d1" not in reopened.failed
         reopened.close()
 
+    def test_result_key_order_preserved(self, tmp_path):
+        """A decoded result iterates exactly like the fresh dict.
+
+        The tables CSV serialises report-dict iteration order verbatim,
+        so resume byte-identity requires the JSON round trip to keep
+        insertion order (records must not be written key-sorted).
+        """
+        path = tmp_path / "ledger.jsonl"
+        result = {
+            "key": ("a", "M1", 4, 0, 1.0),
+            "accepted": 0.5,
+            "report": {"zeta": 1.0, "alpha": 2.0, "mid": 3.0},
+        }
+        with ResultLedger(path) as led:
+            led.append_ok("d1", result["key"], 1, result)
+            fresh_order = list(led.completed["d1"]["report"])
+        reopened = ResultLedger(path)
+        assert list(reopened.completed["d1"]["report"]) == fresh_order
+        assert fresh_order == ["zeta", "alpha", "mid"]
+        assert list(reopened.completed["d1"]) == list(result)
+        reopened.close()
+
+    def test_second_writer_locked_out(self, tmp_path):
+        """A ledger has one writer; concurrent opens fail fast."""
+        pytest.importorskip("fcntl")
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as led:
+            led.append_ok(*self._record("d1"))
+            with pytest.raises(LedgerLockedError, match="locked"):
+                ResultLedger(path)
+        # the lock dies with the handle: reopening afterwards is fine
+        reopened = ResultLedger(path)
+        assert set(reopened.completed) == {"d1"}
+        reopened.close()
+
     def test_read_records(self, tmp_path):
         path = tmp_path / "ledger.jsonl"
         with ResultLedger(path) as led:
@@ -232,14 +271,22 @@ class TestCrashIsolation:
         monkeypatch.setenv(TEST_FAULT_ENV, "down-up:raise:99")
         path = tmp_path / "ledger.jsonl"
         lines = []
+        failures = []
         with ResultLedger(path) as led:
             results = run_parallel(
                 list(units), max_workers=2, retries=1,
-                ledger=led, progress=lines.append,
+                ledger=led, progress=lines.append, failures=failures,
             )
         # every l-turn sibling survived; the failing units are reported
         expected = [u for u in units if u.algorithm == "l-turn"]
         assert [r["key"] for r in results] == [u.key() for u in expected]
+        # ... and propagated to the caller, not just progress lines
+        doomed = {u.key() for u in units if u.algorithm == "down-up"}
+        assert {f.key for f in failures} == doomed
+        assert all(
+            isinstance(f, UnitFailure) and f.attempts == 2 and f.error
+            for f in failures
+        )
         n_failed = len(units) - len(expected)
         assert sum("FAILED attempt=2" in ln for ln in lines) == n_failed
         led = ResultLedger(path)
@@ -262,6 +309,16 @@ class TestCrashIsolation:
         )
         assert results == clean_results
         assert any("[pool] worker process died" in ln for ln in lines)
+        # submission is throttled to the pool width, so a break charges
+        # at most the max_workers units actually exposed to workers —
+        # never the whole queue (with 2 workers, <= 1 sibling besides
+        # the unit whose death was collected)
+        rescheduled = [
+            int(m.group(1))
+            for ln in lines
+            if (m := re.search(r"\((\d+) unit\(s\) rescheduled\)", ln))
+        ]
+        assert rescheduled and all(n <= 1 for n in rescheduled)
 
     def test_serial_path_retries_too(self, units, clean_results, monkeypatch):
         monkeypatch.setenv(TEST_FAULT_ENV, "down-up:raise:1")
@@ -334,3 +391,76 @@ class TestFigure8Durability:
         records = read_records(ledger_path)
         ok_keys = [tuple(r["key"]) for r in records if r["status"] == "ok"]
         assert len(ok_keys) == len(set(ok_keys)) == len(clean.raw)
+        # the interrupted run reported its exhausted units to the caller
+        assert partial.failures and all(
+            f.key[0] == "down-up" for f in partial.failures
+        )
+        assert resumed.failures == []
+
+
+class TestTablesDurability:
+    def test_interrupt_resume_bit_identical(self, tiny, tmp_path, monkeypatch):
+        """Tables CSV: interrupted + resumed == uninterrupted, byte for byte.
+
+        Regression test for resume ordering: a unit merged back from
+        the ledger must emit its four metric rows in the same order as
+        a freshly simulated one, or ``tables_simulated.csv`` (written
+        verbatim from row order) differs between the two runs.
+        """
+        clean_dir = tmp_path / "clean"
+        clean = run_tables(
+            tiny, ports_list=(4,), methods=("M1",),
+            workers=1, out_dir=clean_dir,
+        )
+        ledger_path = tmp_path / "tables.jsonl"
+        monkeypatch.setenv(TEST_FAULT_ENV, "down-up:raise:99")
+        partial = run_tables(
+            tiny, ports_list=(4,), methods=("M1",), workers=2,
+            ledger_path=ledger_path, retries=0,
+        )
+        assert len(partial.raw) < len(clean.raw)
+        assert partial.failures
+        monkeypatch.delenv(TEST_FAULT_ENV)
+        resumed_dir = tmp_path / "resumed"
+        resumed = run_tables(
+            tiny, ports_list=(4,), methods=("M1",), workers=2,
+            ledger_path=ledger_path, out_dir=resumed_dir,
+        )
+        assert resumed.to_csv() == clean.to_csv()
+        assert (resumed_dir / "tables_simulated.csv").read_bytes() == (
+            clean_dir / "tables_simulated.csv"
+        ).read_bytes()
+        assert resumed.values == clean.values
+        assert resumed.throughput == clean.throughput
+        assert resumed.failures == []
+
+
+class TestCLIFailureReporting:
+    def test_exhausted_units_exit_nonzero(self, tmp_path, monkeypatch, capsys):
+        """--quiet must not let a partially-failed run look successful."""
+        from repro.experiments.__main__ import main as cli_main
+
+        monkeypatch.setenv(TEST_FAULT_ENV, "down-up:raise:99")
+        rc = cli_main(
+            [
+                "figure8", "--preset", "tiny", "--quiet", "--retries", "0",
+                "--resume", str(tmp_path / "ledger.jsonl"),
+                "--out", str(tmp_path / "out"),
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "exhausted their retry budget" in err
+        assert "down-up" in err
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main as cli_main
+
+        rc = cli_main(
+            [
+                "figure8", "--preset", "tiny", "--quiet",
+                "--resume", str(tmp_path / "ledger.jsonl"),
+            ]
+        )
+        assert rc == 0
+        assert capsys.readouterr().err == ""
