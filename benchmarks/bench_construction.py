@@ -69,3 +69,66 @@ def test_end_to_end_construction_128_8port(benchmark, topo128_8p, builder):
         lambda: builder(topo128_8p), rounds=1, iterations=1
     )
     assert routing.topology.n == 128
+
+
+# ---------------------------------------------------------------------------
+# construction-artifact cache: cold populate vs warm load
+# (the dedicated regression gate is bench_construction_cache.py)
+# ---------------------------------------------------------------------------
+
+
+def _sample_set(preset, cache):
+    from repro.experiments.harness import build_routings, make_topology
+
+    topo = make_topology(preset, 4, 0, cache=cache)
+    return build_routings(topo, preset, 0, cache=cache)
+
+
+def test_cache_cold_populate_128(benchmark, tmp_path):
+    """Build + serialize + publish every paper-lite sample-0 artifact."""
+    from repro.experiments.artifacts import ArtifactCache
+    from repro.experiments.configs import get_preset
+
+    preset = get_preset("paperlite")
+    counter = iter(range(1_000_000))
+
+    def cold():
+        return _sample_set(
+            preset, ArtifactCache(tmp_path / f"cold{next(counter)}")
+        )
+
+    routings = benchmark.pedantic(cold, rounds=2, iterations=1)
+    assert len(routings) == 6
+
+
+def test_cache_warm_load_128(benchmark, tmp_path):
+    """Checksum-verified disk loads of the same artifacts (no LRU)."""
+    from repro.experiments.artifacts import ArtifactCache
+    from repro.experiments.configs import get_preset
+
+    preset = get_preset("paperlite")
+    store = tmp_path / "store"
+    _sample_set(preset, ArtifactCache(store))  # populate once
+
+    def warm():
+        # fresh instance per round: disk hits, empty in-process LRU
+        return _sample_set(preset, ArtifactCache(store))
+
+    routings = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert len(routings) == 6
+
+
+def test_cache_memory_hits_128(benchmark, tmp_path):
+    """In-process LRU hits: the steady state of a campaign worker."""
+    from repro.experiments.artifacts import ArtifactCache
+    from repro.experiments.configs import get_preset
+
+    preset = get_preset("paperlite")
+    cache = ArtifactCache(tmp_path / "store")
+    _sample_set(preset, cache)  # populate store and LRU
+
+    routings = benchmark.pedantic(
+        lambda: _sample_set(preset, cache), rounds=5, iterations=1
+    )
+    assert len(routings) == 6
+    assert cache.counters.memory_hits > 0

@@ -8,13 +8,17 @@ Subcommands map one-to-one onto the paper's evaluation artefacts::
     python -m repro.experiments campaign --preset paperlite --workers 8
     python -m repro.experiments sweep --preset quick --traffic tornado --vcs 2
     python -m repro.experiments certify --preset quick --fault-links 2
+    python -m repro.experiments cache stats results/campaign_paperlite/artifact_cache
     python -m repro.experiments erratum
     python -m repro.experiments info
 
 Results print to stdout; ``--out DIR`` additionally writes CSV/ASCII
 artefacts for EXPERIMENTS.md.  ``--workers N`` parallelises the
 independent simulations of ``figure8``/``tables``/``campaign`` with
-bit-identical results.
+bit-identical results.  ``--artifact-cache DIR`` (on by default for
+``campaign``) shares one content-addressed construction cache across
+work units and runs — again bit-identical; ``cache stats|verify|clear``
+inspects or resets a store.
 """
 
 from __future__ import annotations
@@ -75,6 +79,21 @@ def _parser() -> argparse.ArgumentParser:
             help="process-pool size for the simulations (default: serial)",
         )
 
+    def caching(sp, default_on=False):
+        sp.add_argument(
+            "--artifact-cache", type=Path, default=None, metavar="DIR",
+            help="content-addressed construction cache: each topology, "
+            "tree and routing is built once, then reused by every work "
+            "unit and every later run (results are bit-identical)"
+            + ("; default: <out>/artifact_cache" if default_on else ""),
+        )
+        sp.add_argument(
+            "--no-artifact-cache", action="store_true",
+            help="disable the construction cache"
+            + ("" if default_on else " (it is already off unless "
+               "--artifact-cache is given)"),
+        )
+
     def durability(sp):
         sp.add_argument(
             "--resume", type=Path, default=None, metavar="LEDGER",
@@ -91,15 +110,18 @@ def _parser() -> argparse.ArgumentParser:
     f8 = sub.add_parser("figure8", help="latency vs accepted traffic curves")
     common(f8)
     durability(f8)
+    caching(f8)
     f8.add_argument("--ports", type=int, default=4, choices=(4, 8))
 
     tb = sub.add_parser("tables", help="Tables 1-4 (simulated, saturated)")
     common(tb)
     durability(tb)
+    caching(tb)
     tb.add_argument("--ports", type=int, nargs="+", default=None)
 
     st = sub.add_parser("static-tables", help="Tables 1-4 (static analysis)")
     common(st)
+    caching(st)
     st.add_argument("--ports", type=int, nargs="+", default=None)
 
     sw = sub.add_parser(
@@ -136,6 +158,7 @@ def _parser() -> argparse.ArgumentParser:
                     "(also truncates the per-stage unit ledgers)")
     cp.add_argument("--no-static", action="store_true",
                     help="skip the static-analysis cross-check stage")
+    caching(cp, default_on=True)
 
     lf = sub.add_parser(
         "live-faults",
@@ -159,6 +182,7 @@ def _parser() -> argparse.ArgumentParser:
                     help="what happens to worms crossing a dying link")
     lf.add_argument("--rate", type=float, default=None,
                     help="offered load (default: preset's lowest rate)")
+    caching(lf)
 
     cf = sub.add_parser(
         "certify",
@@ -188,6 +212,13 @@ def _parser() -> argparse.ArgumentParser:
                     help="seed of the pre-flight fault schedule")
     cf.add_argument("--quiet", action="store_true",
                     help="suppress progress lines")
+
+    ca = sub.add_parser(
+        "cache",
+        help="inspect, re-checksum or clear a construction-artifact store",
+    )
+    ca.add_argument("action", choices=("stats", "verify", "clear"))
+    ca.add_argument("dir", type=Path, help="artifact store directory")
 
     sub.add_parser("erratum", help="demonstrate the Section 4.3 PT erratum")
     sub.add_parser("info", help="list presets and algorithms")
@@ -220,6 +251,45 @@ def _report_failures(failures) -> int:
     return 1
 
 
+def _cache_dir(args, default=None):
+    """Resolve the ``--artifact-cache``/``--no-artifact-cache`` pair."""
+    if getattr(args, "no_artifact_cache", False):
+        return None
+    return args.artifact_cache or default
+
+
+def _cmd_cache(args) -> int:
+    from repro.experiments.artifacts import (
+        clear_store,
+        store_stats,
+        verify_store,
+    )
+
+    if args.action == "stats":
+        s = store_stats(args.dir)
+        c = s["counters"]
+        print(f"store: {args.dir}")
+        print(f"entries: {s['entries']} ({s['bytes']} bytes)")
+        for kind, n in s["by_kind"].items():
+            print(f"  {kind}: {n}")
+        print(
+            f"hits: {c['hits'] + c['memory_hits']} "
+            f"(memory {c['memory_hits']})  misses: {c['misses']}  "
+            f"corrupt: {c['corrupt']}  publishes skipped: "
+            f"{c['publish_skipped']}"
+        )
+        return 0
+    if args.action == "verify":
+        checked, corrupt = verify_store(args.dir)
+        for name in corrupt:
+            print(f"CORRUPT {name}")
+        print(f"checked {checked} entries: {len(corrupt)} corrupt")
+        return 1 if corrupt else 0
+    removed = clear_store(args.dir)
+    print(f"removed {removed} file(s) from {args.dir}")
+    return 0
+
+
 def _cmd_figure8(args) -> int:
     preset = get_preset(args.preset)
     if args.samples:
@@ -234,6 +304,7 @@ def _cmd_figure8(args) -> int:
         workers=args.workers,
         ledger_path=args.resume,
         retries=args.retries,
+        artifact_cache=_cache_dir(args),
     )
     print()
     print(result.to_ascii())
@@ -256,6 +327,7 @@ def _cmd_tables(args, static: bool) -> int:
             "retries": getattr(args, "retries", None),
         }
     )
+    kwargs["artifact_cache"] = _cache_dir(args)
     result = runner(
         preset,
         ports_list=args.ports,
@@ -359,6 +431,8 @@ def _cmd_campaign(args) -> int:
         progress=_progress(args.quiet),
         include_static=not args.no_static,
         retries=args.retries,
+        artifact_cache=args.artifact_cache,
+        use_artifact_cache=not args.no_artifact_cache,
     )
     for st in stages:
         state = "skipped" if st.skipped else f"{st.seconds:.1f}s"
@@ -409,6 +483,7 @@ def _cmd_live_faults(args) -> int:
         policy=args.policy,
         seed=preset.seed,
         progress=_progress(args.quiet),
+        artifact_cache=_cache_dir(args),
     )
     print()
     print(render_live_fault_table(results))
@@ -553,6 +628,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_live_faults(args)
     if args.command == "certify":
         return _cmd_certify(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "erratum":
         return _cmd_erratum()
     if args.command == "info":

@@ -62,6 +62,8 @@ def run_campaign(
     include_static: bool = True,
     clock: Optional[Clock] = None,
     retries: Optional[int] = None,
+    artifact_cache: Optional[Path] = None,
+    use_artifact_cache: bool = True,
 ) -> List[StageResult]:
     """Generate every paper artefact for *preset* into *out_dir*.
 
@@ -82,15 +84,36 @@ def run_campaign(
     levels (artefacts re-run, ledgers truncated).  *retries* bounds
     per-unit crash re-attempts.
 
+    Construction work is shared across stages through the
+    content-addressed artifact cache (on by default, at
+    ``out_dir/artifact_cache`` unless *artifact_cache* names another
+    store): the (topology, tree, routing) tuples the 4-port Figure-8
+    stage builds are reused by every later stage and every re-run.
+    *use_artifact_cache=False* disables it (every unit rebuilds, as
+    before).  The cache is orthogonal to both resume levels — ledgers
+    record simulation *results*, the cache stores construction
+    *inputs* — and results are bit-identical with it on or off, so
+    ``--force`` re-simulates everything without needing to clear it.
+
     A ``manifest.json`` records preset parameters, stage timings,
-    ledger tallies, any units that exhausted their retry budget
-    (``failed_units`` per stage — also surfaced on each
-    :class:`StageResult` and turned into a nonzero CLI exit) and the
-    winner summary, so the directory is self-describing.  *clock* injects the stage timer (defaults to the
+    ledger tallies, artifact-cache totals (hits/misses/entries), any
+    units that exhausted their retry budget (``failed_units`` per
+    stage — also surfaced on each :class:`StageResult` and turned into
+    a nonzero CLI exit) and the winner summary, so the directory is
+    self-describing.  *clock* injects the stage timer (defaults to the
     real wall clock); tests pass a fake for deterministic timings.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    cache_dir: Optional[Path] = None
+    counters_at_start: Dict[str, int] = {}
+    if use_artifact_cache:
+        cache_dir = Path(artifact_cache) if artifact_cache else out_dir / "artifact_cache"
+        from repro.experiments.artifacts import read_counters
+
+        # the store's counter log is append-only and outlives runs:
+        # snapshot it so the manifest reports *this* campaign's tallies
+        counters_at_start = read_counters(cache_dir)
     say = progress or (lambda msg: None)
     tick = resolve_clock(clock)
     results: List[StageResult] = []
@@ -140,6 +163,7 @@ def run_campaign(
                 progress=progress, workers=workers,
                 ledger_path=stage_ledger(f"figure8-{ports}port"),
                 resume=not force, retries=retries,
+                artifact_cache=cache_dir,
             )
             stage_failures[f"figure8-{ports}port"] = result.failures
             (out_dir / f"figure8_{ports}port_summary.txt").write_text(
@@ -159,6 +183,7 @@ def run_campaign(
             preset, out_dir=out_dir, progress=progress, workers=workers,
             ledger_path=stage_ledger("tables"),
             resume=not force, retries=retries,
+            artifact_cache=cache_dir,
         )
         stage_failures["tables"] = result.failures
         from repro.experiments.harness import PAPER_ALGORITHMS
@@ -173,7 +198,10 @@ def run_campaign(
 
     if include_static:
         def static_stage() -> None:
-            result = run_static_tables(preset, out_dir=out_dir, progress=progress)
+            result = run_static_tables(
+                preset, out_dir=out_dir, progress=progress,
+                artifact_cache=cache_dir,
+            )
             from repro.experiments.harness import PAPER_ALGORITHMS
 
             (out_dir / "tables_static.txt").write_text(
@@ -197,6 +225,28 @@ def run_campaign(
         }
         for r in results
     }
+    if cache_dir is not None:
+        from repro.experiments.artifacts import read_counters, store_stats
+
+        stats = store_stats(cache_dir)
+        counters = {
+            k: v - counters_at_start.get(k, 0)
+            for k, v in read_counters(cache_dir).items()
+        }
+        manifest["artifact_cache"] = {
+            "path": str(cache_dir),
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
+            "hits": counters["hits"] + counters["memory_hits"],
+            "misses": counters["misses"],
+            "corrupt": counters["corrupt"],
+        }
+        say(
+            "[campaign] artifact cache: "
+            f"{manifest['artifact_cache']['hits']} hits, "
+            f"{counters['misses']} misses, "
+            f"{stats['entries']} entries on disk"
+        )
     (out_dir / "manifest.json").write_text(
         json.dumps(manifest, indent=2, default=str) + "\n", encoding="utf-8"
     )

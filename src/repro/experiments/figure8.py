@@ -114,6 +114,7 @@ def run_figure8(
     resume: bool = True,
     retries: Optional[int] = None,
     clock=None,
+    artifact_cache: Optional[Path] = None,
 ) -> Figure8Result:
     """Regenerate Figure 8 for one port configuration.
 
@@ -134,6 +135,11 @@ def run_figure8(
     units that exhaust it are collected in ``result.failures`` (the
     CLI turns a non-empty list into a nonzero exit).  *clock* injects
     the progress/ETA timer.
+
+    *artifact_cache* points the run at a content-addressed construction
+    cache (:mod:`repro.experiments.artifacts`): each (topology, tree,
+    routing) is built once and reused by every offered load and every
+    subsequent run.  Results are bit-identical with it on or off.
     """
     result = Figure8Result(ports=ports, preset=preset.name)
     rates = preset.rates_for(ports)
@@ -159,6 +165,7 @@ def run_figure8(
                 ledger=ledger,
                 clock=clock,
                 failures=result.failures,
+                cache_path=artifact_cache,
                 **kwargs,
             ):
                 alg, method, _ports, sample, rate = res["key"]
@@ -170,11 +177,23 @@ def run_figure8(
             if ledger is not None:
                 ledger.close()
     else:
+        cache = None
+        if artifact_cache is not None:
+            from repro.experiments.artifacts import ArtifactCache
+
+            cache = ArtifactCache(artifact_cache)
         for sample in range(preset.samples):
-            topology = make_topology(preset, ports, sample)
+            topology = make_topology(preset, ports, sample, cache=cache)
             routings = build_routings(
-                topology, preset, sample, methods=methods, algorithms=algorithms
+                topology,
+                preset,
+                sample,
+                methods=methods,
+                algorithms=algorithms,
+                cache=cache,
             )
+            if cache is not None:
+                cache.flush_counters()
             for (alg, method), (routing, _tree) in routings.items():
                 seed = derive_seed(preset.seed, 0xF18, ports, sample)
                 cfg = preset.sim_config(seed)

@@ -12,7 +12,10 @@ re-run) sees identical inputs.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, Iterable, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.artifacts import ArtifactCache
 
 from repro.core.coordinated_tree import (
     CoordinatedTree,
@@ -63,22 +66,40 @@ PAPER_METHODS: Tuple[str, ...] = ("M1", "M2", "M3")
 
 
 def make_topology(
-    preset: ExperimentPreset, ports: int, sample: int
+    preset: ExperimentPreset,
+    ports: int,
+    sample: int,
+    cache: Optional["ArtifactCache"] = None,
 ) -> Topology:
-    """Sample topology #*sample* for a port count, deterministically."""
+    """Sample topology #*sample* for a port count, deterministically.
+
+    With *cache*, the generated topology is fetched from / published to
+    the content-addressed artifact store, keyed by its full input
+    closure ``(n, ports, derived seed)``.
+    """
     seed = derive_seed(preset.seed, ports, sample)
-    return random_irregular_topology(
+    build = lambda: random_irregular_topology(
         n=preset.n_switches, ports=ports, rng=seed
     )
+    if cache is None:
+        return build()
+    return cache.topology(preset.n_switches, ports, seed, build)
 
 
 def make_tree(
-    topology: Topology, method: str, preset: ExperimentPreset, sample: int
+    topology: Topology,
+    method: str,
+    preset: ExperimentPreset,
+    sample: int,
+    cache: Optional["ArtifactCache"] = None,
 ) -> CoordinatedTree:
     """The coordinated tree for (*topology*, *method*), deterministic."""
     tm = TREE_METHODS[method]
     seed = derive_seed(preset.seed, 0xC7, sample, ord(method[-1]))
-    return build_coordinated_tree(topology, method=tm, rng=seed)
+    build = lambda: build_coordinated_tree(topology, method=tm, rng=seed)
+    if cache is None:
+        return build()
+    return cache.tree(topology, method, seed, build)
 
 
 def build_routings(
@@ -87,6 +108,7 @@ def build_routings(
     sample: int,
     methods: Iterable[str] = PAPER_METHODS,
     algorithms: Iterable[str] = PAPER_ALGORITHMS,
+    cache: Optional["ArtifactCache"] = None,
 ) -> Dict[Tuple[str, str], Tuple[RoutingFunction, CoordinatedTree]]:
     """All (algorithm, method) routing functions for one test sample.
 
@@ -94,15 +116,34 @@ def build_routings(
     paper's "under the same coordinated tree" comparison.  Returns
     ``{(algorithm, method): (routing, tree)}``; every routing has been
     verified deadlock-free and connected by its builder.
+
+    With *cache* every constructed artifact is fetched from / published
+    to the content-addressed store: across a campaign, each
+    (tree, routing) pair is built once instead of once per work unit.
+    The cached path is bit-identical to the built one (asserted by the
+    equivalence suite).
     """
     out: Dict[Tuple[str, str], Tuple[RoutingFunction, CoordinatedTree]] = {}
     for method in methods:
-        tree = make_tree(topology, method, preset, sample)
+        tree = make_tree(topology, method, preset, sample, cache=cache)
+        tree_key = ""
+        if cache is not None:
+            from repro.experiments.artifacts import tree_key_digest
+
+            tree_key = tree_key_digest(
+                topology,
+                method,
+                derive_seed(preset.seed, 0xC7, sample, ord(method[-1])),
+            )
         for alg in algorithms:
             builder = ALGORITHMS[alg]
             seed = derive_seed(
                 preset.seed, 0xA19, sample, zlib.crc32(alg.encode())
             )
-            routing = builder(topology, tree=tree, rng=seed)
+            build = lambda: builder(topology, tree=tree, rng=seed)
+            if cache is None:
+                routing = build()
+            else:
+                routing = cache.routing(topology, tree_key, alg, seed, build)
             out[(alg, method)] = (routing, tree)
     return out

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coordinated_tree import TreeMethod, build_coordinated_tree
@@ -72,6 +73,34 @@ def _make_builder(
     return builder
 
 
+def _cached_initial_build(
+    cache, topology: Topology, algorithm: str, method: TreeMethod, seed: int
+):
+    """The pre-fault (tree, routing) build through the artifact cache.
+
+    Keyed by topology *content* digest, so any caller handing the same
+    graph (regardless of how it was generated) shares the entry.  Only
+    the initial build is cached: reconfiguration rebuilds run on
+    degraded survivor graphs mid-simulation, each typically seen once.
+    """
+    from repro.experiments.artifacts import tree_key_digest
+
+    tree = cache.tree(
+        topology,
+        method.name,
+        seed,
+        lambda: build_coordinated_tree(topology, method=method, rng=seed),
+    )
+    build = ALGORITHMS[algorithm]
+    return cache.routing(
+        topology,
+        tree_key_digest(topology, method.name, seed),
+        algorithm,
+        seed,
+        lambda: build(topology, tree=tree, rng=seed),
+    )
+
+
 def run_live_fault_campaign(
     topology: Topology,
     schedule: FaultSchedule,
@@ -84,6 +113,7 @@ def run_live_fault_campaign(
     seed: int = 0,
     timeline_interval: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    artifact_cache: Optional[Path] = None,
 ) -> List[LiveFaultResult]:
     """Run every algorithm through the same live-fault scenario.
 
@@ -97,15 +127,30 @@ def run_live_fault_campaign(
     Raises whatever the engine raises (``DeadlockDetected``,
     ``LivelockSuspected``) — an algorithm that cannot survive the
     scenario fails loudly rather than producing a quiet bad row.
+
+    *artifact_cache* serves the initial (pre-fault) tree/routing builds
+    from the content-addressed construction cache; recovery rebuilds on
+    degraded graphs always run live.
     """
     if schedule.topology != topology:
         raise ValueError("fault schedule built for a different topology")
     say = progress or (lambda msg: None)
+    cache = None
+    if artifact_cache is not None:
+        from repro.experiments.artifacts import ArtifactCache
+
+        cache = ArtifactCache(artifact_cache)
     results: List[LiveFaultResult] = []
     for alg in algorithms:
         alg_seed = derive_seed(seed, zlib.crc32(alg.encode()))
         builder = _make_builder(alg, method, alg_seed)
-        routing = builder(topology)
+        if cache is None:
+            routing = builder(topology)
+        else:
+            routing = _cached_initial_build(
+                cache, topology, alg, method, alg_seed
+            )
+            cache.flush_counters()
         controller = ReconfigurationController(builder, drain_clocks=drain_clocks)
         sim = WormholeSimulator(routing, config)
         sim.stats.timeline_interval = timeline_interval

@@ -46,8 +46,20 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.experiments.artifacts import process_cache, set_process_cache
 from repro.experiments.configs import ExperimentPreset
 from repro.experiments.harness import (
     PAPER_ALGORITHMS,
@@ -149,20 +161,29 @@ def tables_units(
 def run_unit(unit: WorkUnit) -> Dict[str, object]:
     """Execute one work unit.
 
-    Rebuilds topology, tree and routing deterministically from the
-    preset seed, simulates, and returns a plain dict: the unit key, the
-    headline numbers, and the per-channel utilization needed for the
-    table metrics.
+    Derives topology, tree and routing deterministically from the
+    preset seed — through the process-bound artifact cache when one is
+    set (see :func:`repro.experiments.artifacts.set_process_cache`), so
+    sibling units sharing a routing construct it once per campaign, not
+    once per unit — then simulates and returns a plain dict: the unit
+    key, the headline numbers, and the per-channel utilization needed
+    for the table metrics.  The dict never mentions the cache: results
+    are bit-identical with it on or off.
     """
-    topology = make_topology(unit.preset, unit.ports, unit.sample)
+    cache = process_cache()
+    topology = make_topology(unit.preset, unit.ports, unit.sample, cache=cache)
     routings = build_routings(
         topology,
         unit.preset,
         unit.sample,
         methods=(unit.method,),
         algorithms=(unit.algorithm,),
+        cache=cache,
     )
     routing, tree = routings[(unit.algorithm, unit.method)]
+    if cache is not None:
+        # durable per-unit flush: hit/miss tallies survive SIGKILL
+        cache.flush_counters()
     seed = derive_seed(unit.preset.seed, unit.seed_salt, unit.ports, unit.sample)
     cfg = unit.preset.sim_config(seed).with_rate(unit.rate)
     stats = simulate(routing, cfg)
@@ -190,6 +211,16 @@ def execute_unit(unit: WorkUnit, attempt: int = 1) -> Dict[str, object]:
     return run_unit(unit)
 
 
+def _worker_init(cache_path: Optional[str]) -> None:
+    """Pool initializer: bind the shared artifact cache in each worker.
+
+    The path travels via ``initargs`` — not as a :class:`WorkUnit`
+    field — because unit digests (ledger resume identity) must not
+    depend on whether a cache is in use.
+    """
+    set_process_cache(cache_path)
+
+
 def default_max_workers() -> int:
     """Worker count respecting cgroup/affinity CPU limits.
 
@@ -213,6 +244,7 @@ def run_parallel(
     retries: int = DEFAULT_RETRIES,
     clock: Optional[Clock] = None,
     failures: Optional[List[UnitFailure]] = None,
+    cache_path: Optional[Union[str, Path]] = None,
 ) -> List[Dict[str, object]]:
     """Run *units*; results are returned in input order.
 
@@ -231,6 +263,10 @@ def run_parallel(
     to *failures* when the caller supplies that list, so failure never
     has to be inferred from a shorter result list.  *clock* injects
     the ETA timer (defaults to the sanctioned wall clock).
+
+    *cache_path* points every worker (and the serial fallback) at one
+    shared content-addressed artifact store; workers populate and read
+    it race-free (atomic publication, checksum-verified reads).
     """
     units = list(units)
     total = len(units)
@@ -296,7 +332,11 @@ def run_parallel(
             f"FAILED attempt={attempt}: {exc!r}"
         )
 
+    cache_arg = None if cache_path is None else str(cache_path)
+
     if max_workers <= 1 or len(pending_idx) <= 1:
+        if cache_arg is not None:
+            set_process_cache(cache_arg)
         for i in pending_idx:
             attempt = 1
             while True:
@@ -346,7 +386,11 @@ def run_parallel(
     try:
         while pending or in_flight:
             if pool is None:
-                pool = ProcessPoolExecutor(max_workers=max_workers)
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    initializer=_worker_init,
+                    initargs=(cache_arg,),
+                )
             broken = False
             # throttle submission to the pool width: a queued-but-not-
             # started future would be charged an attempt when the pool

@@ -121,6 +121,7 @@ def run_tables(
     resume: bool = True,
     retries: Optional[int] = None,
     clock=None,
+    artifact_cache: Optional[Path] = None,
 ) -> TablesResult:
     """Regenerate Tables 1-4 by simulation at saturation.
 
@@ -131,8 +132,10 @@ def run_tables(
     skips units already recorded, merging them back in input order —
     the aggregation keys on the unit tuple, so records are accepted in
     any order and a resumed run reproduces an uninterrupted one
-    byte-identically.  *retries*/*clock* as in
-    :func:`~repro.experiments.figure8.run_figure8`.
+    byte-identically.  *retries*/*clock*/*artifact_cache* as in
+    :func:`~repro.experiments.figure8.run_figure8` — the cache reuses
+    the (topology, tree, routing) constructions a Figure-8 run of the
+    same preset already published.
     """
     ports_list = tuple(ports_list if ports_list is not None else preset.ports)
     result = TablesResult(preset=preset.name, kind="simulated", samples=preset.samples)
@@ -157,6 +160,7 @@ def run_tables(
                 ledger=ledger,
                 clock=clock,
                 failures=result.failures,
+                cache_path=artifact_cache,
                 **kwargs,
             ):
                 alg, method, ports, sample, _rate = res["key"]
@@ -180,12 +184,24 @@ def run_tables(
             )
         return result
 
+    cache = None
+    if artifact_cache is not None:
+        from repro.experiments.artifacts import ArtifactCache
+
+        cache = ArtifactCache(artifact_cache)
     for ports in ports_list:
         for sample in range(preset.samples):
-            topology = make_topology(preset, ports, sample)
+            topology = make_topology(preset, ports, sample, cache=cache)
             routings = build_routings(
-                topology, preset, sample, methods=methods, algorithms=algorithms
+                topology,
+                preset,
+                sample,
+                methods=methods,
+                algorithms=algorithms,
+                cache=cache,
             )
+            if cache is not None:
+                cache.flush_counters()
             for (alg, method), (routing, tree) in routings.items():
                 seed = derive_seed(preset.seed, 0x7AB, ports, sample)
                 cfg = preset.sim_config(seed)
@@ -224,17 +240,30 @@ def run_static_tables(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     out_dir: Optional[Path] = None,
     progress: Optional[Callable[[str], None]] = None,
+    artifact_cache: Optional[Path] = None,
 ) -> TablesResult:
     """Tables 1-4 metrics from the exact static path analysis."""
     ports_list = tuple(ports_list if ports_list is not None else preset.ports)
     result = TablesResult(preset=preset.name, kind="static", samples=preset.samples)
 
+    cache = None
+    if artifact_cache is not None:
+        from repro.experiments.artifacts import ArtifactCache
+
+        cache = ArtifactCache(artifact_cache)
     for ports in ports_list:
         for sample in range(preset.samples):
-            topology = make_topology(preset, ports, sample)
+            topology = make_topology(preset, ports, sample, cache=cache)
             routings = build_routings(
-                topology, preset, sample, methods=methods, algorithms=algorithms
+                topology,
+                preset,
+                sample,
+                methods=methods,
+                algorithms=algorithms,
+                cache=cache,
             )
+            if cache is not None:
+                cache.flush_counters()
             for (alg, method), (routing, tree) in routings.items():
                 report = static_utilization_report(routing, tree)
                 for metric in _metric_order(report):

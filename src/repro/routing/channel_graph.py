@@ -120,8 +120,21 @@ def would_close_cycle(
 # ---------------------------------------------------------------------------
 
 
+def reverse_adjacency(adj: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Reverse adjacency: predecessors of channel ``b`` are the channels
+    ``a`` with an allowed dependency ``a -> b``."""
+    radj: List[List[int]] = [[] for _ in range(len(adj))]
+    for a, outs in enumerate(adj):
+        for b in outs:
+            radj[b].append(a)
+    return radj
+
+
 def shortest_path_dags(
-    turn_model: TurnModel, dest: int
+    turn_model: TurnModel,
+    dest: int,
+    adj: Optional[Sequence[Sequence[int]]] = None,
+    radj: Optional[Sequence[Sequence[int]]] = None,
 ) -> Tuple[List[int], List[Tuple[int, ...]], List[Tuple[int, ...]]]:
     """Turn-restricted shortest-path data toward *dest*.
 
@@ -137,18 +150,20 @@ def shortest_path_dags(
     Implemented as a reverse BFS over the channel dependency graph from
     the set of channels sinking at *dest* (all hops cost 1 clockless hop,
     so plain BFS yields exact distances).
+
+    The dependency graph does not depend on *dest*; callers building
+    tables for every destination pass a precomputed *adj* (and
+    optionally its *radj* reversal) so classification runs once per
+    turn model instead of once per destination.
     """
     topo = turn_model.topology
     n_ch = topo.num_channels
     UNREACH = 2**31 - 1
 
-    # reverse adjacency: predecessors of channel b are the channels a
-    # with an allowed dependency a -> b.
-    adj = dependency_adjacency(turn_model)
-    radj: List[List[int]] = [[] for _ in range(n_ch)]
-    for a, outs in enumerate(adj):
-        for b in outs:
-            radj[b].append(a)
+    if adj is None:
+        adj = dependency_adjacency(turn_model)
+    if radj is None:
+        radj = reverse_adjacency(adj)
 
     dist = [UNREACH] * n_ch
     frontier = [c for c in range(n_ch) if topo.channel(c).sink == dest]

@@ -27,11 +27,13 @@ from typing import Union
 
 import numpy as np
 
+from repro.core.coordinated_tree import CoordinatedTree
 from repro.routing.base import RoutingFunction, TurnModel
 from repro.routing.verification import verify_routing
 from repro.topology.serialization import topology_from_json, topology_to_json
 
 FORMAT = "repro-routing-v1"
+TREE_FORMAT = "repro-tree-v1"
 
 
 def routing_to_json(routing: RoutingFunction) -> str:
@@ -93,17 +95,75 @@ def routing_from_json(text: str, verify: bool = True) -> RoutingFunction:
         name=data["name"],
         turn_model=tm,
         dist=dist,
+        # map(tuple, ...) stays in C: these two fields are ~98% of the
+        # decoded object (|V| x |C| inner tuples) and dominate load time
         next_hops=tuple(
-            tuple(tuple(opts) for opts in per_dest)
-            for per_dest in data["next_hops"]
+            tuple(map(tuple, per_dest)) for per_dest in data["next_hops"]
         ),
         first_hops=tuple(
-            tuple(tuple(opts) for opts in per_dest)
-            for per_dest in data["first_hops"]
+            tuple(map(tuple, per_dest)) for per_dest in data["first_hops"]
         ),
         meta={"loaded": True},
     )
     return verify_routing(routing) if verify else routing
+
+
+def tree_to_json(tree: CoordinatedTree) -> str:
+    """Serialize a coordinated tree (topology + structure + coordinates).
+
+    Versioned (``repro-tree-v1``) so archived artefacts from a cache or
+    results directory are rejected loudly when the layout changes
+    instead of being misread.
+    """
+    payload = {
+        "format": TREE_FORMAT,
+        "topology": json.loads(topology_to_json(tree.topology)),
+        "root": tree.root,
+        "parent": [-1 if p is None else int(p) for p in tree.parent],
+        "children": [list(kids) for kids in tree.children],
+        "x": list(tree.x),
+        "y": list(tree.y),
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def tree_from_json(text: str, validate: bool = True) -> CoordinatedTree:
+    """Rebuild a coordinated tree from :func:`tree_to_json` output.
+
+    With *validate* (default) the result passes the full Definition-2
+    structural checks (:meth:`CoordinatedTree.validate`).
+    """
+    data = json.loads(text)
+    if data.get("format") != TREE_FORMAT:
+        raise ValueError(
+            f"unsupported coordinated-tree format {data.get('format')!r}"
+        )
+    topology = topology_from_json(json.dumps(data["topology"]))
+    tree = CoordinatedTree(
+        topology=topology,
+        root=int(data["root"]),
+        parent=tuple(
+            None if p < 0 else int(p) for p in data["parent"]
+        ),
+        children=tuple(
+            tuple(int(k) for k in kids) for kids in data["children"]
+        ),
+        x=tuple(int(v) for v in data["x"]),
+        y=tuple(int(v) for v in data["y"]),
+    )
+    if validate:
+        tree.validate()
+    return tree
+
+
+def save_tree(tree: CoordinatedTree, path: Union[str, Path]) -> None:
+    """Write *tree* to *path* as JSON."""
+    Path(path).write_text(tree_to_json(tree) + "\n", encoding="utf-8")
+
+
+def load_tree(path: Union[str, Path], validate: bool = True) -> CoordinatedTree:
+    """Read a tree previously written by :func:`save_tree`."""
+    return tree_from_json(Path(path).read_text(encoding="utf-8"), validate)
 
 
 def save_routing(routing: RoutingFunction, path: Union[str, Path]) -> None:

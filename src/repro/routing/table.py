@@ -15,7 +15,11 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.routing.base import RoutingFunction, TurnModel
-from repro.routing.channel_graph import shortest_path_dags
+from repro.routing.channel_graph import (
+    dependency_adjacency,
+    reverse_adjacency,
+    shortest_path_dags,
+)
 
 
 def build_routing_function(
@@ -34,8 +38,12 @@ def build_routing_function(
     dist = np.full((n, topo.num_channels), RoutingFunction.UNREACHABLE, np.int32)
     next_hops = []
     first_hops = []
+    # the dependency graph is destination-independent: classify once,
+    # not once per destination (dominates construction time otherwise)
+    adj = dependency_adjacency(turn_model)
+    radj = reverse_adjacency(adj)
     for d in range(n):
-        dd, nh, fh = shortest_path_dags(turn_model, d)
+        dd, nh, fh = shortest_path_dags(turn_model, d, adj=adj, radj=radj)
         dist[d, :] = dd
         next_hops.append(tuple(nh))
         first_hops.append(tuple(fh))

@@ -221,6 +221,45 @@ def _topological_order(adj: List[List[int]]) -> Optional[List[int]]:
     return order if len(order) == n else None
 
 
+def _witness_suffix(
+    routing: RoutingFunction,
+    dest: int,
+    first: int,
+    memo: Dict[int, Tuple[int, ...]],
+) -> Tuple[int, ...]:
+    """The witness path that *starts* with channel ``first`` toward *dest*.
+
+    The certified path always continues with the first candidate row
+    entry, so every source whose first hop lands on the same channel
+    shares the same tail.  *memo* caches one suffix tuple per channel
+    per destination: each channel's continuation is resolved once and
+    the shared tuples are reused across all ``O(n)`` sources, instead
+    of re-walking the table for every ordered pair.
+    """
+    dist = routing.dist[dest]
+    nh = routing.next_hops[dest]
+    chain = []
+    c = first
+    while c not in memo:
+        if int(dist[c]) <= 0:
+            memo[c] = (c,)
+            break
+        nxt = nh[c]
+        if not nxt:
+            raise VerificationError(
+                f"{routing.name}: cannot certify connectivity — table "
+                f"strands channel {c} toward {dest}",
+                routing_name=routing.name,
+                kind="stranded",
+                stranded={"dest": dest, "channel": c},
+            )
+        chain.append(c)
+        c = nxt[0]
+    for c in reversed(chain):
+        memo[c] = (c,) + memo[nh[c][0]]
+    return memo[first]
+
+
 def _witness_path(routing: RoutingFunction, src: int, dest: int) -> Tuple[int, ...]:
     """A concrete admissible path ``src -> dest``, read off the tables."""
     opts = routing.first_hops[dest][src]
@@ -232,20 +271,7 @@ def _witness_path(routing: RoutingFunction, src: int, dest: int) -> Tuple[int, .
             kind="unroutable",
             unroutable=[(src, dest)],
         )
-    path = [opts[0]]
-    dist = routing.dist[dest]
-    while int(dist[path[-1]]) > 0:
-        nxt = routing.next_hops[dest][path[-1]]
-        if not nxt:
-            raise VerificationError(
-                f"{routing.name}: cannot certify connectivity — table "
-                f"strands channel {path[-1]} toward {dest}",
-                routing_name=routing.name,
-                kind="stranded",
-                stranded={"dest": dest, "channel": path[-1]},
-            )
-        path.append(nxt[0])
-    return tuple(path)
+    return _witness_suffix(routing, dest, opts[0], {})
 
 
 def certify_routing(
@@ -272,9 +298,21 @@ def certify_routing(
 
     witnesses = []
     for d in range(topo.n):
+        suffixes: Dict[int, Tuple[int, ...]] = {}
+        fh = routing.first_hops[d]
         for s in range(topo.n):
-            if s != d:
-                witnesses.append((s, d, _witness_path(routing, s, d)))
+            if s == d:
+                continue
+            opts = fh[s]
+            if not opts:
+                raise VerificationError(
+                    f"{routing.name}: cannot certify connectivity — no "
+                    f"admissible path {s}->{d}",
+                    routing_name=routing.name,
+                    kind="unroutable",
+                    unroutable=[(s, d)],
+                )
+            witnesses.append((s, d, _witness_suffix(routing, d, opts[0], suffixes)))
 
     unreachable = int(RoutingFunction.UNREACHABLE)
     dist_rows = tuple(

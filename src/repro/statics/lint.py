@@ -3,7 +3,7 @@
 The codebase's determinism guarantees — byte-identical reruns under
 fixed seeds, engine-clock-only time, routing tables written exclusively
 by verified builders — were previously enforced by convention.  This
-linter enforces them statically, with four repo-specific rules:
+linter enforces them statically, with five repo-specific rules:
 
 ``STA001`` *engine clock only*
     No wall-clock reads (``time.time``, ``time.perf_counter``,
@@ -30,6 +30,16 @@ linter enforces them statically, with four repo-specific rules:
     Every ``build_*_routing`` function returning a ``RoutingFunction``
     must pass its result through ``verify_routing`` — the Theorem-1
     gate no construction is allowed to skip.
+
+``STA005`` *no unverified deserialization*
+    No calls to the serialization loaders (``routing_from_json``,
+    ``load_routing``, ``tree_from_json``, ``load_tree``) with their
+    re-verification flag literally disabled (``verify=False`` /
+    ``validate=False``) outside :mod:`repro.experiments.artifacts` —
+    the artifact cache alone may skip re-verification, because it
+    substitutes a per-entry payload checksum plus a content-addressed
+    input-closure key for it.  Everywhere else, loaded bytes are
+    untrusted and must pass the full Theorem-1 / Definition-2 checks.
 
 Run as ``python -m repro.statics.lint [paths...]`` (defaults to the
 installed ``repro`` package); exits non-zero when violations exist.
@@ -81,6 +91,21 @@ RNG_BANNED_PREFIXES = ("numpy.random.", "random.")
 
 #: attributes only builders may assign (STA003)
 TABLE_ATTRIBUTES = frozenset({"first_hops", "next_hops", "channel_class"})
+
+#: modules allowed to deserialize with re-verification disabled (STA005):
+#: the artifact cache, whose entry checksums substitute for it
+UNVERIFIED_DESERIALIZATION_ALLOWED = frozenset(
+    {"repro/experiments/artifacts.py"}
+)
+
+#: serialization loaders guarded by STA005, with the positional index
+#: of their verification flag
+GUARDED_LOADERS: Dict[str, int] = {
+    "routing_from_json": 1,
+    "load_routing": 1,
+    "tree_from_json": 1,
+    "load_tree": 1,
+}
 
 _BUILDER_NAME = re.compile(r"^build_\w+_routing$")
 
@@ -213,6 +238,40 @@ def lint_source(
                 f"direct RNG construction {full}() — take an explicit "
                 f"seeded source via repro.util.rng instead",
             )
+
+    # --- STA005: unverified deserialization ----------------------------
+    if rel not in UNVERIFIED_DESERIALIZATION_ALLOWED:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                lname = func.attr
+            elif isinstance(func, ast.Name):
+                lname = func.id
+            else:
+                continue
+            flag_idx = GUARDED_LOADERS.get(lname)
+            if flag_idx is None:
+                continue
+            disabled = any(
+                kw.arg in ("verify", "validate")
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            ) or (
+                len(node.args) > flag_idx
+                and isinstance(node.args[flag_idx], ast.Constant)
+                and node.args[flag_idx].value is False
+            )
+            if disabled:
+                add(
+                    node,
+                    "STA005",
+                    f"{lname}() with re-verification disabled outside the "
+                    f"artifact cache — only checksum-guarded cache entries "
+                    f"may skip the Theorem-1/Definition-2 checks",
+                )
 
     # --- STA003: routing-table writes ----------------------------------
     if rel not in TABLE_BUILDER_MODULES:

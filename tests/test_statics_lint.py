@@ -131,6 +131,48 @@ class TestSTA004BuildersVerify:
         assert codes(src) == []
 
 
+class TestSTA005UnverifiedDeserialization:
+    def test_keyword_verify_false_fires(self):
+        assert codes("r = routing_from_json(text, verify=False)\n") == [
+            "STA005"
+        ]
+
+    def test_keyword_validate_false_fires(self):
+        assert codes("t = tree_from_json(text, validate=False)\n") == [
+            "STA005"
+        ]
+
+    def test_positional_false_fires(self):
+        assert codes("t = load_tree(path, False)\n") == ["STA005"]
+
+    def test_attribute_call_fires(self):
+        assert codes(
+            "r = serialization.load_routing(path, verify=False)\n"
+        ) == ["STA005"]
+
+    def test_artifact_cache_is_allowed(self):
+        assert (
+            codes(
+                "r = routing_from_json(text, verify=False)\n",
+                module_rel="repro/experiments/artifacts.py",
+            )
+            == []
+        )
+
+    def test_default_verification_is_fine(self):
+        assert codes("r = load_routing(path)\n") == []
+
+    def test_explicit_true_is_fine(self):
+        assert codes("r = routing_from_json(text, verify=True)\n") == []
+
+    def test_variable_flag_is_fine(self):
+        # pass-through of a caller-supplied flag is not a literal bypass
+        assert codes("r = routing_from_json(text, verify=flag)\n") == []
+
+    def test_unguarded_loader_is_ignored(self):
+        assert codes("x = parse_thing(text, verify=False)\n") == []
+
+
 class TestMachinery:
     def test_syntax_error_reported_as_sta000(self):
         assert codes("def broken(:\n") == ["STA000"]
