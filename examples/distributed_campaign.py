@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Multi-host campaign execution: leases, crash takeover, identical merge.
+
+Several workers — normally one per host — point at one shared campaign
+directory and cooperatively drain a stage's work list with no
+coordinator process (`repro.experiments.distributed`). This example
+stages the protocol at toy scale, on one machine, with real processes:
+
+1. two workers drain one Figure-8 stage concurrently — units are
+   claimed through `O_EXCL` lease files, results stream to one ledger
+   shard per worker, and the deterministic merge is bit-identical to a
+   single-host run;
+2. chaos: a worker rigged to SIGKILL itself mid-unit dies holding a
+   lease — a survivor observes the frozen heartbeat counter (no
+   wall-clock comparison anywhere), takes the lease over, and still
+   produces byte-identical results;
+3. a unit whose lease chain says it killed two distinct workers is
+   quarantined as poison and reported as a `UnitFailure` instead of
+   taking down every host that touches it.
+
+Run:  python examples/distributed_campaign.py
+"""
+
+import multiprocessing
+import os
+import shutil
+from pathlib import Path
+
+from repro.experiments import figure8_units, get_preset, run_parallel
+from repro.experiments.distributed import (
+    LEASE_DIR,
+    WorkerConfig,
+    canonical_digest,
+    read_lease,
+    read_poison,
+    run_distributed,
+    try_claim,
+)
+from repro.experiments.ledger import unit_digest
+from repro.experiments.parallel import TEST_FAULT_ENV
+
+DEMO_DIR = Path("distributed_demo")
+
+
+def _preset():
+    return get_preset("tiny").scaled(
+        warmup_clocks=100, measure_clocks=400, rates=(0.05, 0.2)
+    )
+
+
+def _config(stage: str, worker: str) -> WorkerConfig:
+    # aggressive timing for the demo: scans every 50 ms, takeover after
+    # 3 unchanged observations of a peer's heartbeat counter
+    return WorkerConfig(
+        campaign_dir=DEMO_DIR / stage, worker=worker,
+        poll_interval=0.05, stale_scans=3,
+    )
+
+
+def _worker(stage: str, name: str, fault: str = "") -> None:
+    """One worker process (module-level for multiprocessing)."""
+    if fault:
+        os.environ[TEST_FAULT_ENV] = fault
+    preset = _preset()
+    units = figure8_units(preset, ports=4, methods=("M1",))
+    config = _config(stage, name)
+    run_distributed(units, config.stage_dir("demo"), config, progress=print)
+
+
+def _spawn(stage: str, name: str, fault: str = "") -> multiprocessing.Process:
+    proc = multiprocessing.Process(target=_worker, args=(stage, name, fault))
+    proc.start()
+    return proc
+
+
+def main() -> None:
+    shutil.rmtree(DEMO_DIR, ignore_errors=True)
+    preset = _preset()
+    units = figure8_units(preset, ports=4, methods=("M1",))
+    print(f"== work list: {len(units)} units (tiny preset, 4-port, M1)")
+    clean = run_parallel(list(units), max_workers=1)
+    reference = canonical_digest(clean)
+    print(f"   single-host reference digest: {reference[:16]}...")
+
+    print("\n== act 1: two workers drain one shared stage")
+    procs = [_spawn("duo", "alice"), _spawn("duo", "bob")]
+    for proc in procs:
+        proc.join()
+    assert all(p.exitcode == 0 for p in procs)
+    stage = _config("duo", "alice").stage_dir("demo")
+    for shard in sorted(stage.glob("ledger_*.jsonl")):
+        lines = shard.read_text().count("\n")
+        print(f"   {shard.name}: {lines} record(s)")
+    # re-merge in this process: the fold depends only on the shards
+    config = _config("duo", "merge-only")
+    merged = run_distributed(units, stage, config)
+    assert canonical_digest(merged) == reference
+    print("   merged results bit-identical to the single-host run")
+
+    print("\n== act 2: SIGKILL a worker mid-unit; a survivor takes over")
+    doomed = _spawn("chaos", "doomed", fault="down-up:kill:99")
+    doomed.join()
+    stage = _config("chaos", "doomed").stage_dir("demo")
+    leases = list((stage / LEASE_DIR).iterdir())
+    print(
+        f"   doomed worker exit code {doomed.exitcode}, "
+        f"{len(leases)} abandoned lease(s)"
+    )
+    _state, _identity, info = read_lease(leases[0])
+    print(f"   lease held by {info['worker']}, counter frozen — stale soon")
+    survivor = _spawn("chaos", "survivor")
+    survivor.join()
+    assert survivor.exitcode == 0
+    merged = run_distributed(units, stage, _config("chaos", "merge-only"))
+    assert canonical_digest(merged) == reference
+    print("   survivor finished the stage; results still bit-identical")
+
+    print("\n== act 3: a unit that kills every host is quarantined")
+    stage = _config("poison", "carol").stage_dir("demo")
+    (stage / LEASE_DIR).mkdir(parents=True)
+    victim = units[0]
+    # a lease chain recording two prior deaths on this unit
+    try_claim(
+        stage / LEASE_DIR / f"{unit_digest(victim)}.json",
+        "deadB", ["deadA"], victim.key(),
+    )
+    failures = []
+    config = WorkerConfig(
+        campaign_dir=DEMO_DIR / "poison", worker="carol",
+        poll_interval=0.05, stale_scans=3, poison_after=2,
+    )
+    results = run_distributed(
+        units, stage, config, progress=print, failures=failures
+    )
+    assert len(results) == len(units) - 1
+    assert len(failures) == 1 and "poisoned" in failures[0].error
+    marker = read_poison(stage)[unit_digest(victim)]
+    print(
+        f"   quarantined {failures[0].key} after deaths of "
+        f"{marker['workers']}; the other {len(results)} units completed"
+    )
+
+    shutil.rmtree(DEMO_DIR, ignore_errors=True)
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@
 * :mod:`repro.experiments.ledger` /
   :mod:`repro.experiments.parallel` — durable, crash-tolerant,
   resumable execution of the independent simulation units;
+* :mod:`repro.experiments.distributed` — coordinator-less multi-host
+  execution over a shared campaign directory (lease-based work claims,
+  per-worker ledger shards, deterministic bit-identical merge);
 * ``python -m repro.experiments`` — the CLI.
 """
 
@@ -31,6 +34,13 @@ from repro.experiments.live_resilience import (
     run_live_fault_campaign,
 )
 from repro.experiments.tables import TablesResult, run_static_tables, run_tables
+from repro.experiments.distributed import (
+    WorkerConfig,
+    canonical_digest,
+    default_worker_id,
+    merge_stage,
+    run_distributed,
+)
 from repro.experiments.ledger import (
     LedgerLockedError,
     ResultLedger,
@@ -77,6 +87,11 @@ __all__ = [
     "tables_units",
     "run_parallel",
     "default_max_workers",
+    "WorkerConfig",
+    "run_distributed",
+    "merge_stage",
+    "canonical_digest",
+    "default_worker_id",
     "ResultLedger",
     "LedgerLockedError",
     "read_records",

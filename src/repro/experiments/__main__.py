@@ -6,6 +6,7 @@ Subcommands map one-to-one onto the paper's evaluation artefacts::
     python -m repro.experiments tables  --preset quick
     python -m repro.experiments static-tables --preset midscale
     python -m repro.experiments campaign --preset paperlite --workers 8
+    python -m repro.experiments work --campaign-dir /shared/run --preset paperlite
     python -m repro.experiments sweep --preset quick --traffic tornado --vcs 2
     python -m repro.experiments certify --preset quick --fault-links 2
     python -m repro.experiments cache stats results/campaign_paperlite/artifact_cache
@@ -106,6 +107,12 @@ def _parser() -> argparse.ArgumentParser:
             help="extra attempts per unit after a worker crash or error "
             "(default: 2); an exhausted unit is reported, not fatal",
         )
+        sp.add_argument(
+            "--unit-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-unit wall-time watchdog: a unit exceeding it is "
+            "charged a failed attempt (against --retries) instead of "
+            "hanging the run",
+        )
 
     f8 = sub.add_parser("figure8", help="latency vs accepted traffic curves")
     common(f8)
@@ -153,12 +160,84 @@ def _parser() -> argparse.ArgumentParser:
         help="extra attempts per unit after a worker crash or error "
         "(default: 2); an exhausted unit is reported, not fatal",
     )
+    cp.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-time watchdog: a unit exceeding it is "
+        "charged a failed attempt (against --retries) instead of "
+        "hanging the run",
+    )
     cp.add_argument("--force", action="store_true",
                     help="re-run stages whose artefacts already exist "
                     "(also truncates the per-stage unit ledgers)")
     cp.add_argument("--no-static", action="store_true",
                     help="skip the static-analysis cross-check stage")
     caching(cp, default_on=True)
+
+    wk = sub.add_parser(
+        "work",
+        help="join a shared campaign directory as one distributed worker "
+        "(coordinator-less multi-host execution: run one per host, all "
+        "pointed at the same --campaign-dir; merged artefacts are "
+        "byte-identical to a single-host run)",
+    )
+    wk.add_argument(
+        "--campaign-dir", type=Path, required=True, metavar="DIR",
+        help="shared coordination directory (artefacts, lease files and "
+        "per-worker ledger shards all live under it)",
+    )
+    wk.add_argument(
+        "--preset", default="quick", choices=sorted(PRESETS),
+        help="scale preset (default: quick); every worker must use the "
+        "same preset — unit digests enforce it at merge time",
+    )
+    wk.add_argument(
+        "--samples", type=int, default=None, help="override sample count"
+    )
+    wk.add_argument(
+        "--worker", default=None, metavar="ID",
+        help="worker id, unique among live workers (default: "
+        "<host>-<pid>); reusing a stable id lets a restarted worker "
+        "resume its own ledger shard and reclaim its own leases "
+        "immediately",
+    )
+    wk.add_argument(
+        "--retries", type=int, default=None,
+        help="extra attempts per unit after an error (default: 2)",
+    )
+    wk.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-time watchdog; strongly recommended for "
+        "multi-host runs (a hung unit renews its lease forever "
+        "otherwise)",
+    )
+    wk.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="idle re-scan period of the shared directory (default: 0.5)",
+    )
+    wk.add_argument(
+        "--stale-scans", type=int, default=4,
+        help="consecutive scans a lease must sit unchanged before its "
+        "holder is presumed dead (default: 4; raise on filesystems "
+        "with slow metadata propagation)",
+    )
+    wk.add_argument(
+        "--poison-after", type=int, default=2,
+        help="quarantine a unit once this many distinct workers died "
+        "holding it (default: 2)",
+    )
+    wk.add_argument(
+        "--no-static", action="store_true",
+        help="skip the static-analysis cross-check stage",
+    )
+    wk.add_argument(
+        "--shared-cache", type=Path, default=None, metavar="DIR",
+        help="shared read-through artifact tier (entries are "
+        "checksum-verified on import)",
+    )
+    wk.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    caching(wk, default_on=True)
 
     lf = sub.add_parser(
         "live-faults",
@@ -305,6 +384,7 @@ def _cmd_figure8(args) -> int:
         ledger_path=args.resume,
         retries=args.retries,
         artifact_cache=_cache_dir(args),
+        unit_timeout=args.unit_timeout,
     )
     print()
     print(result.to_ascii())
@@ -325,6 +405,7 @@ def _cmd_tables(args, static: bool) -> int:
             "workers": args.workers,
             "ledger_path": getattr(args, "resume", None),
             "retries": getattr(args, "retries", None),
+            "unit_timeout": getattr(args, "unit_timeout", None),
         }
     )
     kwargs["artifact_cache"] = _cache_dir(args)
@@ -433,12 +514,51 @@ def _cmd_campaign(args) -> int:
         retries=args.retries,
         artifact_cache=args.artifact_cache,
         use_artifact_cache=not args.no_artifact_cache,
+        unit_timeout=args.unit_timeout,
     )
     for st in stages:
         state = "skipped" if st.skipped else f"{st.seconds:.1f}s"
         suffix = f"  ({len(st.failures)} unit(s) FAILED)" if st.failures else ""
         print(f"{st.name:18s} {state}{suffix}")
     print(f"artefacts in {out}")
+    return _report_failures([f for st in stages for f in st.failures])
+
+
+def _cmd_work(args) -> int:
+    from repro.experiments.campaign import run_campaign
+    from repro.experiments.distributed import WorkerConfig, default_worker_id
+
+    preset = get_preset(args.preset)
+    if args.samples:
+        preset = preset.scaled(samples=args.samples)
+    campaign_dir = args.campaign_dir
+    config = WorkerConfig(
+        campaign_dir=campaign_dir,
+        worker=args.worker or default_worker_id(),
+        poll_interval=args.poll_interval,
+        stale_scans=args.stale_scans,
+        poison_after=args.poison_after,
+        shared_cache=args.shared_cache,
+    )
+    say = _progress(args.quiet)
+    say(f"[work] worker {config.worker} joining {campaign_dir}")
+    stages = run_campaign(
+        preset,
+        campaign_dir,
+        workers=1,
+        progress=say,
+        include_static=not args.no_static,
+        retries=args.retries,
+        artifact_cache=args.artifact_cache,
+        use_artifact_cache=not args.no_artifact_cache,
+        distributed=config,
+        unit_timeout=args.unit_timeout,
+    )
+    for st in stages:
+        state = "skipped" if st.skipped else f"{st.seconds:.1f}s"
+        suffix = f"  ({len(st.failures)} unit(s) FAILED)" if st.failures else ""
+        print(f"{st.name:18s} {state}{suffix}")
+    print(f"artefacts in {campaign_dir}")
     return _report_failures([f for st in stages for f in st.failures])
 
 
@@ -624,6 +744,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "work":
+        return _cmd_work(args)
     if args.command == "live-faults":
         return _cmd_live_faults(args)
     if args.command == "certify":

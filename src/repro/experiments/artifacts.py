@@ -92,6 +92,7 @@ DEFAULT_MEMORY_ENTRIES = 16
 _COUNTER_FIELDS = (
     "hits",
     "memory_hits",
+    "shared_hits",
     "misses",
     "corrupt",
     "publish_skipped",
@@ -109,6 +110,42 @@ def artifact_digest(kind: str, key: Dict[str, object]) -> str:
 def _payload_checksum(payload: str) -> str:
     """SHA-256 over the raw payload bytes (cheap to re-verify on read)."""
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _validated_entry_raw(
+    path: Path, kind: str
+) -> Tuple[Optional[str], Optional[str], bool]:
+    """Validate one entry file: ``(raw, payload, suspect)``.
+
+    ``raw`` is the exact byte-for-byte text that passed validation
+    (what a shared-tier import republishes), ``payload`` the body after
+    the header line; both are ``None`` when the entry is missing or
+    fails any check.  ``suspect`` distinguishes "file exists but is
+    unreadable/torn/mismatched" (counted ``corrupt`` by callers) from a
+    plain miss.
+    """
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None, None, False
+    except OSError:
+        return None, None, True
+    nl = raw.find("\n")
+    if nl < 0:
+        return None, None, True
+    try:
+        header = json.loads(raw[:nl])
+    except json.JSONDecodeError:
+        return None, None, True
+    payload = raw[nl + 1 :]
+    if (
+        not isinstance(header, dict)
+        or header.get("format") != ARTIFACT_FORMAT
+        or header.get("kind") != kind
+        or header.get("payload_sha256") != _payload_checksum(payload)
+    ):
+        return None, None, True
+    return raw, payload, False
 
 
 def topology_digest(topology: Topology) -> str:
@@ -137,6 +174,7 @@ class CacheCounters:
 
     hits: int = 0  # disk hits (checksum-verified, decoded)
     memory_hits: int = 0  # served from the in-process LRU
+    shared_hits: int = 0  # imported from the multi-host shared tier
     misses: int = 0  # built from scratch
     corrupt: int = 0  # entries dropped for a failed checksum/decode
     publish_skipped: int = 0  # lock was busy; built but not published
@@ -160,15 +198,28 @@ class ArtifactCache:
     per-entry payload checksum; all writes publish atomically under a
     non-blocking single-writer lock.  ``max_memory_entries`` bounds the
     in-process decoded-object LRU (0 disables it).
+
+    *shared_root* adds an optional multi-host **read-through tier** (a
+    store directory on a shared filesystem): a local miss consults the
+    shared store, verifies the entry's payload checksum *before*
+    import, copies it into the local store and serves it (counted as
+    ``shared_hits``); local builds are additionally published to the
+    shared tier so peers benefit.  A corrupted shared entry fails its
+    checksum on import and is ignored — a bad peer can slow this host
+    down (it rebuilds), but can never poison its results.
     """
 
     def __init__(
         self,
         root: Union[str, Path],
         max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        shared_root: Optional[Union[str, Path]] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.shared_root = Path(shared_root) if shared_root else None
+        if self.shared_root is not None:
+            self.shared_root.mkdir(parents=True, exist_ok=True)
         self.counters = CacheCounters()
         self._flushed: Dict[str, int] = {}
         self._memory: "OrderedDict[str, object]" = OrderedDict()
@@ -177,10 +228,6 @@ class ArtifactCache:
     # -- paths ---------------------------------------------------------
     def entry_path(self, digest: str) -> Path:
         return self.root / f"{digest}.json"
-
-    @property
-    def _lock_path(self) -> Path:
-        return self.root / "writer.lock"
 
     @property
     def _counters_path(self) -> Path:
@@ -203,7 +250,7 @@ class ArtifactCache:
 
     # -- on-disk store -------------------------------------------------
     def _read(self, digest: str, kind: str) -> Optional[str]:
-        """Checksum-verified payload of one entry, or ``None`` on miss.
+        """Checksum-verified payload of one local entry, or ``None``.
 
         Anything suspect — unreadable file, malformed header, format or
         kind mismatch, checksum failure (a torn write SIGKILL'd
@@ -211,45 +258,70 @@ class ArtifactCache:
         as a miss; the next successful publication atomically replaces
         the bad file.
         """
-        path = self.entry_path(digest)
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return None
-        except OSError:
+        _raw, payload, suspect = _validated_entry_raw(
+            self.entry_path(digest), kind
+        )
+        if suspect:
             self.counters.corrupt += 1
-            return None
-        nl = raw.find("\n")
-        if nl < 0:
-            self.counters.corrupt += 1
-            return None
-        try:
-            header = json.loads(raw[:nl])
-        except json.JSONDecodeError:
-            self.counters.corrupt += 1
-            return None
-        payload = raw[nl + 1 :]
-        if (
-            not isinstance(header, dict)
-            or header.get("format") != ARTIFACT_FORMAT
-            or header.get("kind") != kind
-            or header.get("payload_sha256") != _payload_checksum(payload)
-        ):
-            self.counters.corrupt += 1
-            return None
         return payload
+
+    def _import_shared(self, digest: str, kind: str) -> Optional[str]:
+        """Read-through: verified import of one shared-tier entry.
+
+        The entry's bytes are checksum-verified *before* anything is
+        copied into the local store, and the exact verified bytes are
+        what gets published (atomically, under the local writer lock) —
+        so a corrupted or half-written peer entry can never enter the
+        local tier, and a reader never observes a torn import.
+        """
+        if self.shared_root is None:
+            return None
+        raw, payload, suspect = _validated_entry_raw(
+            self.shared_root / f"{digest}.json", kind
+        )
+        if suspect:
+            self.counters.corrupt += 1
+        if payload is None or raw is None:
+            return None
+        # re-publish the verified bytes locally; a busy lock just skips
+        # (the payload itself is already safe to serve either way)
+        self._publish_to(self.root, digest, raw)
+        return payload
+
+    def _publish_to(self, root: Path, digest: str, data: str) -> bool:
+        """Atomically publish one entry file into *root*.
+
+        Write-to-temp + ``os.replace``: readers only ever see a complete
+        entry under the final name.  The per-store flock keeps
+        concurrent pools from duplicating serialization work; a busy
+        lock just skips the publish (the artifact was built anyway, and
+        whoever holds the lock is publishing its own copy of identical
+        content).
+        """
+        lock_fh = open(root / "writer.lock", "a")
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    self.counters.publish_skipped += 1
+                    return False
+            tmp = root / f"tmp-{digest}-{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, root / f"{digest}.json")
+            self.counters.bytes_written += len(data)
+            return True
+        finally:
+            lock_fh.close()  # closing drops the flock
 
     def _publish(
         self, digest: str, kind: str, key: Dict[str, object], payload: str
     ) -> bool:
-        """Atomically publish one entry; ``False`` when the lock is busy.
-
-        Write-to-temp + ``os.replace``: readers only ever see a complete
-        entry under the final name.  The flock keeps concurrent pools
-        from duplicating serialization work; a busy lock just skips the
-        publish (the artifact was built anyway, and whoever holds the
-        lock is publishing its own copy of identical content).
-        """
+        """Publish one entry locally and, when configured, to the
+        shared tier (each atomically, each skipping on a busy lock)."""
         header = json.dumps(
             {
                 "format": ARTIFACT_FORMAT,
@@ -262,24 +334,10 @@ class ArtifactCache:
             separators=(",", ":"),
         )
         data = header + "\n" + payload
-        lock_fh = open(self._lock_path, "a")
-        try:
-            if fcntl is not None:
-                try:
-                    fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-                except OSError:
-                    self.counters.publish_skipped += 1
-                    return False
-            tmp = self.root / f"tmp-{digest}-{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(data)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.entry_path(digest))
-            self.counters.bytes_written += len(data)
-            return True
-        finally:
-            lock_fh.close()  # closing drops the flock
+        published = self._publish_to(self.root, digest, data)
+        if self.shared_root is not None:
+            self._publish_to(self.shared_root, digest, data)
+        return published
 
     # -- generic get-or-build ------------------------------------------
     def get_or_build(
@@ -290,13 +348,17 @@ class ArtifactCache:
         encode: Callable[[object], str],
         decode: Callable[[str], object],
     ):
-        """The cache protocol: memory LRU, then disk, then build+publish."""
+        """The cache protocol: memory LRU, local disk, shared tier,
+        then build+publish."""
         digest = artifact_digest(kind, key)
         obj = self._memory_get(digest)
         if obj is not None:
             self.counters.memory_hits += 1
             return obj
         payload = self._read(digest, kind)
+        shared = payload is None
+        if shared:
+            payload = self._import_shared(digest, kind)
         if payload is not None:
             try:
                 obj = decode(payload)
@@ -305,7 +367,10 @@ class ArtifactCache:
                 # with a refreshed checksum): drop and rebuild
                 self.counters.corrupt += 1
             else:
-                self.counters.hits += 1
+                if shared:
+                    self.counters.shared_hits += 1
+                else:
+                    self.counters.hits += 1
                 self._memory_put(digest, obj)
                 return obj
         obj = build()
@@ -398,17 +463,31 @@ class ArtifactCache:
     def flush_counters(self) -> None:
         """Append this instance's counter delta to the shared tally.
 
-        Safe across processes: one JSON line per flush, appended under a
-        blocking flock on the counters file (the critical section is a
-        single small write).  No-op when nothing changed.
+        Safe across concurrent (even multi-host) writers: one JSON line
+        per flush, appended under a blocking flock on the counters file
+        — and, first, the same torn-tail truncation discipline as the
+        ledger: if a previous writer was SIGKILLed mid-append and left
+        a line without its newline, the torn tail is truncated away
+        *before* this append, so the new record starts on its own line
+        instead of fusing with (and destroying) the torn one.  No-op
+        when nothing changed.
         """
         delta = self.counters.delta_since(self._flushed)
         if not any(delta.values()):
             return
-        with open(self._counters_path, "a", encoding="utf-8") as fh:
+        with open(self._counters_path, "ab") as fh:
             if fcntl is not None:
                 fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
-            fh.write(json.dumps(delta, sort_keys=True) + "\n")
+            size = os.fstat(fh.fileno()).st_size
+            if size > 0:
+                with open(self._counters_path, "rb") as read_fh:
+                    raw = read_fh.read(size)
+                if not raw.endswith(b"\n"):
+                    good_end = raw.rfind(b"\n") + 1  # 0 when no newline
+                    os.ftruncate(fh.fileno(), good_end)
+            fh.write(
+                (json.dumps(delta, sort_keys=True) + "\n").encode("utf-8")
+            )
             fh.flush()
         self._flushed = self.counters.as_dict()
 
@@ -473,11 +552,21 @@ def store_stats(root: Union[str, Path]) -> Dict[str, object]:
 
 
 def verify_store(root: Union[str, Path]) -> Tuple[int, List[str]]:
-    """Re-checksum every entry; returns ``(checked, corrupt_names)``."""
+    """Re-checksum every entry; returns ``(checked, corrupt_names)``.
+
+    Also audits ``counters.jsonl``: a torn tail (a flush SIGKILLed
+    mid-append) or garbage line is *reported* as a corrupt name — never
+    a crash — so an operator inspecting a store that survived a worker
+    death sees exactly what the crash cost.
+    """
     corrupt: List[str] = []
     files = _entry_files(root)
     for p in files:
-        raw = p.read_text(encoding="utf-8")
+        try:
+            raw = p.read_text(encoding="utf-8")
+        except OSError:
+            corrupt.append(p.name)
+            continue
         nl = raw.find("\n")
         ok = False
         if nl >= 0:
@@ -493,6 +582,25 @@ def verify_store(root: Union[str, Path]) -> Tuple[int, List[str]]:
                 ok = False
         if not ok:
             corrupt.append(p.name)
+    counters_path = Path(root) / "counters.jsonl"
+    try:
+        raw_bytes = counters_path.read_bytes()
+    except (FileNotFoundError, OSError):
+        raw_bytes = b""
+    if raw_bytes:
+        bad = 0
+        if not raw_bytes.endswith(b"\n"):
+            bad += 1  # torn tail awaiting the next flush's truncation
+        # drop the final fragment: the trailing empty split on a clean
+        # file, the already-counted torn fragment otherwise
+        for line in raw_bytes.split(b"\n")[:-1]:
+            try:
+                if not isinstance(json.loads(line.decode("utf-8")), dict):
+                    bad += 1
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                bad += 1
+        if bad:
+            corrupt.append(f"counters.jsonl ({bad} unreadable line(s))")
     return len(files), corrupt
 
 
@@ -520,19 +628,30 @@ def clear_store(root: Union[str, Path]) -> int:
 _PROCESS_CACHE: Optional[ArtifactCache] = None
 
 
-def set_process_cache(path: Optional[Union[str, Path]]) -> None:
+def set_process_cache(
+    path: Optional[Union[str, Path]],
+    shared: Optional[Union[str, Path]] = None,
+) -> None:
     """(Re)bind the process-wide cache.  ``None`` disables it.
 
     Also the :class:`~concurrent.futures.ProcessPoolExecutor`
     initializer: workers receive the store path once at pool start and
     every :func:`~repro.experiments.parallel.run_unit` in the process
     shares one instance (and therefore one decoded-object LRU).
+    *shared* names the optional multi-host read-through tier behind
+    the local store.
     """
     global _PROCESS_CACHE
     if path is None:
         _PROCESS_CACHE = None
-    elif _PROCESS_CACHE is None or _PROCESS_CACHE.root != Path(path):
-        _PROCESS_CACHE = ArtifactCache(path)
+        return
+    shared_root = Path(shared) if shared is not None else None
+    if (
+        _PROCESS_CACHE is None
+        or _PROCESS_CACHE.root != Path(path)
+        or _PROCESS_CACHE.shared_root != shared_root
+    ):
+        _PROCESS_CACHE = ArtifactCache(path, shared_root=shared)
 
 
 def process_cache() -> Optional[ArtifactCache]:

@@ -19,10 +19,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.configs import ExperimentPreset
+from repro.util.fsio import atomic_write_text
 from repro.util.wallclock import Clock, resolve_clock
+
+if TYPE_CHECKING:  # import cycle-free annotation only
+    from repro.experiments.distributed import WorkerConfig
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.report import (
     render_all_tables,
@@ -64,6 +68,8 @@ def run_campaign(
     retries: Optional[int] = None,
     artifact_cache: Optional[Path] = None,
     use_artifact_cache: bool = True,
+    distributed: Optional["WorkerConfig"] = None,
+    unit_timeout: Optional[float] = None,
 ) -> List[StageResult]:
     """Generate every paper artefact for *preset* into *out_dir*.
 
@@ -102,6 +108,17 @@ def run_campaign(
     a nonzero CLI exit) and the winner summary, so the directory is
     self-describing.  *clock* injects the stage timer (defaults to the
     real wall clock); tests pass a fake for deterministic timings.
+
+    *distributed* turns this call into one worker of a multi-host
+    campaign (:mod:`repro.experiments.distributed`): the simulation
+    stages claim work units through lease files under the config's
+    shared campaign directory (normally *out_dir* itself) and stream
+    results to per-worker ledger shards instead of the single-writer
+    per-stage ledgers.  Every worker that finishes a stage publishes
+    the byte-identical artefacts atomically, and a worker that arrives
+    after a stage's artefacts exist skips it like any resumed run.
+    The cheap static cross-check stage runs locally on every worker.
+    *unit_timeout* bounds each unit's wall time in either mode.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -161,13 +178,18 @@ def run_campaign(
             result = run_figure8(
                 preset, ports=ports, out_dir=out_dir,
                 progress=progress, workers=workers,
-                ledger_path=stage_ledger(f"figure8-{ports}port"),
+                ledger_path=(
+                    None if distributed is not None
+                    else stage_ledger(f"figure8-{ports}port")
+                ),
                 resume=not force, retries=retries,
                 artifact_cache=cache_dir,
+                distributed=distributed, unit_timeout=unit_timeout,
             )
             stage_failures[f"figure8-{ports}port"] = result.failures
-            (out_dir / f"figure8_{ports}port_summary.txt").write_text(
-                render_figure8_summary(result) + "\n", encoding="utf-8"
+            atomic_write_text(
+                out_dir / f"figure8_{ports}port_summary.txt",
+                render_figure8_summary(result) + "\n",
             )
         return run
 
@@ -181,16 +203,19 @@ def run_campaign(
     def tables_stage() -> None:
         result = run_tables(
             preset, out_dir=out_dir, progress=progress, workers=workers,
-            ledger_path=stage_ledger("tables"),
+            ledger_path=(
+                None if distributed is not None else stage_ledger("tables")
+            ),
             resume=not force, retries=retries,
             artifact_cache=cache_dir,
+            distributed=distributed, unit_timeout=unit_timeout,
         )
         stage_failures["tables"] = result.failures
         from repro.experiments.harness import PAPER_ALGORITHMS
 
-        (out_dir / "tables_simulated.txt").write_text(
+        atomic_write_text(
+            out_dir / "tables_simulated.txt",
             render_all_tables(result, PAPER_ALGORITHMS, preset.ports) + "\n",
-            encoding="utf-8",
         )
         manifest["winners"]["simulated"] = winners(result, preset.ports)
 
@@ -204,9 +229,10 @@ def run_campaign(
             )
             from repro.experiments.harness import PAPER_ALGORITHMS
 
-            (out_dir / "tables_static.txt").write_text(
-                render_all_tables(result, PAPER_ALGORITHMS, preset.ports) + "\n",
-                encoding="utf-8",
+            atomic_write_text(
+                out_dir / "tables_static.txt",
+                render_all_tables(result, PAPER_ALGORITHMS, preset.ports)
+                + "\n",
             )
             manifest["winners"]["static"] = winners(result, preset.ports)
 
@@ -247,8 +273,14 @@ def run_campaign(
             f"{counters['misses']} misses, "
             f"{stats['entries']} entries on disk"
         )
-    (out_dir / "manifest.json").write_text(
-        json.dumps(manifest, indent=2, default=str) + "\n", encoding="utf-8"
+    if distributed is not None:
+        manifest["distributed"] = {
+            "worker": distributed.worker,
+            "campaign_dir": str(distributed.campaign_dir),
+        }
+    atomic_write_text(
+        out_dir / "manifest.json",
+        json.dumps(manifest, indent=2, default=str) + "\n",
     )
     say(f"[campaign] complete: {out_dir}/manifest.json")
     return results

@@ -36,8 +36,12 @@ from repro.experiments.harness import (
 )
 from repro.metrics.saturation import sweep_injection_rates
 from repro.util.ascii_plot import ascii_xy_plot
+from repro.util.fsio import atomic_write_text
 from repro.util.rng import derive_seed
 from repro.util.tables import format_csv
+
+if TYPE_CHECKING:  # import cycle-free annotation only
+    from repro.experiments.distributed import WorkerConfig
 
 
 @dataclass
@@ -115,6 +119,8 @@ def run_figure8(
     retries: Optional[int] = None,
     clock=None,
     artifact_cache: Optional[Path] = None,
+    distributed: Optional["WorkerConfig"] = None,
+    unit_timeout: Optional[float] = None,
 ) -> Figure8Result:
     """Regenerate Figure 8 for one port configuration.
 
@@ -140,13 +146,39 @@ def run_figure8(
     cache (:mod:`repro.experiments.artifacts`): each (topology, tree,
     routing) is built once and reused by every offered load and every
     subsequent run.  Results are bit-identical with it on or off.
+
+    *distributed* joins a shared multi-host campaign instead of running
+    alone: this process becomes one worker of
+    :func:`~repro.experiments.distributed.run_distributed` (lease-based
+    claims, per-worker ledger shards in the stage directory under the
+    config's campaign dir, deterministic merge).  The aggregates — and
+    therefore the artefacts — are byte-identical to a single-host run.
+    *unit_timeout* bounds each unit's wall time (hung simulations are
+    charged a failed attempt instead of stalling the run) on both the
+    pooled and distributed paths.
     """
     result = Figure8Result(ports=ports, preset=preset.name)
     rates = preset.rates_for(ports)
     acc: Dict[Tuple[str, str, float], List[float]] = {}
     lat: Dict[Tuple[str, str, float], List[float]] = {}
 
-    if workers > 1 or ledger_path is not None:
+    records: Optional[List[Dict[str, object]]] = None
+    if distributed is not None:
+        from repro.experiments.distributed import run_distributed
+        from repro.experiments.parallel import figure8_units
+
+        units = figure8_units(preset, ports, methods, algorithms)
+        records = run_distributed(
+            units,
+            distributed.stage_dir(f"figure8-{ports}port"),
+            distributed,
+            progress=progress,
+            retries=retries,
+            unit_timeout=unit_timeout,
+            cache_path=artifact_cache,
+            failures=result.failures,
+        )
+    elif workers > 1 or ledger_path is not None:
         from repro.experiments.ledger import ResultLedger
         from repro.experiments.parallel import figure8_units, run_parallel
 
@@ -158,7 +190,7 @@ def run_figure8(
         )
         kwargs = {} if retries is None else {"retries": retries}
         try:
-            for res in run_parallel(
+            records = run_parallel(
                 units,
                 max_workers=workers,
                 progress=progress,
@@ -166,16 +198,20 @@ def run_figure8(
                 clock=clock,
                 failures=result.failures,
                 cache_path=artifact_cache,
+                unit_timeout=unit_timeout,
                 **kwargs,
-            ):
-                alg, method, _ports, sample, rate = res["key"]
-                accepted, latency = res["accepted"], res["latency"]
-                result.raw.append((alg, method, sample, rate, accepted, latency))
-                acc.setdefault((alg, method, rate), []).append(accepted)
-                lat.setdefault((alg, method, rate), []).append(latency)
+            )
         finally:
             if ledger is not None:
                 ledger.close()
+
+    if records is not None:
+        for res in records:
+            alg, method, _ports, sample, rate = res["key"]
+            accepted, latency = res["accepted"], res["latency"]
+            result.raw.append((alg, method, sample, rate, accepted, latency))
+            acc.setdefault((alg, method, rate), []).append(accepted)
+            lat.setdefault((alg, method, rate), []).append(latency)
     else:
         cache = None
         if artifact_cache is not None:
@@ -224,11 +260,12 @@ def run_figure8(
 
     if out_dir is not None:
         out_dir = Path(out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / f"figure8_{ports}port.csv").write_text(
-            result.to_csv() + "\n", encoding="utf-8"
+        # atomic publication: concurrent distributed workers finishing
+        # the stage together each publish the (byte-identical) artefact
+        atomic_write_text(
+            out_dir / f"figure8_{ports}port.csv", result.to_csv() + "\n"
         )
-        (out_dir / f"figure8_{ports}port.txt").write_text(
-            result.to_ascii() + "\n", encoding="utf-8"
+        atomic_write_text(
+            out_dir / f"figure8_{ports}port.txt", result.to_ascii() + "\n"
         )
     return result

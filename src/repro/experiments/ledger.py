@@ -48,8 +48,12 @@ import dataclasses
 import hashlib
 import json
 import os
+import socket
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+from repro.util.fsio import atomic_write_text
+from repro.util.wallclock import utc_stamp
 
 try:  # advisory single-writer locking; absent on some platforms
     import fcntl
@@ -64,7 +68,40 @@ _CHECK_LEN = 16
 
 
 class LedgerLockedError(RuntimeError):
-    """The ledger file is already locked by another live writer."""
+    """The ledger file is already locked by another live writer.
+
+    The message names the owner (pid/host/start time, from the sidecar
+    the lock holder published) and — when the owner is on this host —
+    whether that process is still alive, so "ledger is locked" tells
+    the operator whom to look at instead of leaving them to guess.
+    """
+
+
+def _owner_sidecar(path: Path) -> Path:
+    """The lock-owner sidecar published next to a locked ledger."""
+    return path.with_name(path.name + ".owner.json")
+
+
+def _describe_owner(path: Path) -> str:
+    """Operator-facing description of whoever holds a ledger's lock."""
+    try:
+        info = json.loads(_owner_sidecar(path).read_text(encoding="utf-8"))
+        pid, host = int(info["pid"]), str(info["host"])
+        started = str(info.get("started", "?"))
+    except (OSError, ValueError, KeyError, TypeError):
+        return "owner unknown (no readable owner sidecar)"
+    desc = f"owned by pid {pid} on {host} since {started}"
+    if host == socket.gethostname():
+        try:
+            os.kill(pid, 0)
+            alive = "still alive"
+        except ProcessLookupError:
+            alive = "no longer running - a stale lock should not " \
+                    "happen with flock; check for a copied file"
+        except OSError:
+            alive = "liveness unknown"
+        desc += f" ({alive})"
+    return desc
 
 
 def _canonical(obj: object) -> str:
@@ -154,17 +191,35 @@ class ResultLedger:
             raise
 
     def _lock(self) -> None:
-        """Exclusive, non-blocking advisory lock on the open handle."""
+        """Exclusive, non-blocking advisory lock on the open handle.
+
+        On success, publishes an owner sidecar (pid/host/start time) so
+        a later contender's :class:`LedgerLockedError` can say *who*
+        holds the lock and whether that process is still alive.
+        """
         if fcntl is None:  # pragma: no cover - non-POSIX
             return
         try:
             fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError as exc:
             raise LedgerLockedError(
-                f"ledger {self.path} is locked by another process; a "
-                "ledger has exactly one writer (is another run resuming "
-                "from the same file?)"
+                f"ledger {self.path} is locked by another process "
+                f"({_describe_owner(self.path)}); a ledger has exactly "
+                "one writer (is another run resuming from the same "
+                "file?)"
             ) from exc
+        atomic_write_text(
+            _owner_sidecar(self.path),
+            json.dumps(
+                {
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "started": utc_stamp(),
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
 
     # -- recovery ------------------------------------------------------
     def _recover(self) -> None:
@@ -274,6 +329,12 @@ class ResultLedger:
 
     def close(self) -> None:
         if not self._fh.closed:
+            # retire the owner sidecar *before* dropping the lock so a
+            # contender never reads our record after we released
+            try:
+                _owner_sidecar(self.path).unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
             self._fh.close()
 
     def __enter__(self) -> "ResultLedger":

@@ -76,11 +76,22 @@ from repro.util.wallclock import Clock, resolve_clock
 DEFAULT_RETRIES = 2
 
 #: test-only fault injection: ``"<algorithm>:<mode>:<max_attempt>"``
-#: where mode is ``raise`` (unit raises) or ``kill`` (worker SIGKILLs
-#: itself, breaking the pool).  Environment variables propagate to pool
-#: workers under every start method, which is why this hook is not a
-#: module global.  Never set outside the test suite.
+#: where mode is ``raise`` (unit raises), ``kill`` (worker SIGKILLs
+#: itself, breaking the pool) or ``hang`` (unit never returns — the
+#: per-unit watchdog's test vector).  Environment variables propagate
+#: to pool workers under every start method, which is why this hook is
+#: not a module global.  Never set outside the test suite.
 TEST_FAULT_ENV = "REPRO_TEST_FAULT"
+
+
+class UnitTimeout(RuntimeError):
+    """One work unit exceeded its ``unit_timeout`` wall-time budget.
+
+    Raised *inside* the executing process by the SIGALRM watchdog, so a
+    hung unit surfaces through the normal exception path: it is charged
+    a failed attempt against its bounded retries instead of stalling
+    result collection forever.
+    """
 
 
 @dataclass(frozen=True)
@@ -197,28 +208,86 @@ def run_unit(unit: WorkUnit) -> Dict[str, object]:
     }
 
 
-def execute_unit(unit: WorkUnit, attempt: int = 1) -> Dict[str, object]:
-    """Pool/serial entry point: test fault hook, then :func:`run_unit`."""
-    spec = os.environ.get(TEST_FAULT_ENV)
-    if spec:
-        alg, mode, max_attempt = spec.rsplit(":", 2)
-        if unit.algorithm == alg and attempt <= int(max_attempt):
-            if mode == "kill":
-                os.kill(os.getpid(), signal.SIGKILL)
-            raise RuntimeError(
-                f"injected test fault: {unit.key()} attempt={attempt}"
-            )
-    return run_unit(unit)
+def _arm_watchdog(unit_timeout: Optional[float]) -> Optional[Callable[[], None]]:
+    """Arm a SIGALRM wall-time watchdog; returns the disarm callable.
+
+    Only armed where it can work: a POSIX platform with ``SIGALRM`` and
+    the process's main thread (signal handlers are a main-thread-only
+    facility).  Pool workers execute units on their main thread, so the
+    watchdog covers the pooled path everywhere it matters; elsewhere
+    the collector-side hard deadline in :func:`run_parallel` is the
+    backstop.
+    """
+    if unit_timeout is None or unit_timeout <= 0:
+        return None
+    if not hasattr(signal, "SIGALRM") or not hasattr(signal, "setitimer"):
+        return None  # pragma: no cover - non-POSIX
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def _on_alarm(signum, frame):
+        raise UnitTimeout(
+            f"unit exceeded its {unit_timeout:g}s wall-time budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, unit_timeout)
+
+    def disarm() -> None:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+    return disarm
 
 
-def _worker_init(cache_path: Optional[str]) -> None:
+def execute_unit(
+    unit: WorkUnit,
+    attempt: int = 1,
+    unit_timeout: Optional[float] = None,
+) -> Dict[str, object]:
+    """Pool/serial entry point: watchdog + test fault hook + :func:`run_unit`.
+
+    *unit_timeout* bounds the unit's wall time: a hung simulation is
+    interrupted by :class:`UnitTimeout` (SIGALRM, armed only on the
+    executing process's main thread) and flows through the ordinary
+    retry machinery instead of stalling collection.
+    """
+    disarm = _arm_watchdog(unit_timeout)
+    try:
+        spec = os.environ.get(TEST_FAULT_ENV)
+        if spec:
+            alg, mode, max_attempt = spec.rsplit(":", 2)
+            if unit.algorithm == alg and attempt <= int(max_attempt):
+                if mode == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if mode == "hang":
+                    import time
+
+                    while True:  # interruptible only by the watchdog
+                        time.sleep(0.02)
+                raise RuntimeError(
+                    f"injected test fault: {unit.key()} attempt={attempt}"
+                )
+        return run_unit(unit)
+    finally:
+        if disarm is not None:
+            disarm()
+
+
+def _worker_init(
+    cache_path: Optional[str], shared_cache_path: Optional[str] = None
+) -> None:
     """Pool initializer: bind the shared artifact cache in each worker.
 
-    The path travels via ``initargs`` — not as a :class:`WorkUnit`
-    field — because unit digests (ledger resume identity) must not
-    depend on whether a cache is in use.
+    The paths travel via ``initargs`` — not as :class:`WorkUnit`
+    fields — because unit digests (ledger resume identity) must not
+    depend on whether a cache is in use.  *shared_cache_path* adds the
+    optional multi-host read-through tier (entries checksum-verified on
+    import; see :class:`~repro.experiments.artifacts.ArtifactCache`).
     """
-    set_process_cache(cache_path)
+    set_process_cache(cache_path, shared=shared_cache_path)
 
 
 def default_max_workers() -> int:
@@ -245,6 +314,8 @@ def run_parallel(
     clock: Optional[Clock] = None,
     failures: Optional[List[UnitFailure]] = None,
     cache_path: Optional[Union[str, Path]] = None,
+    shared_cache_path: Optional[Union[str, Path]] = None,
+    unit_timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Run *units*; results are returned in input order.
 
@@ -267,6 +338,19 @@ def run_parallel(
     *cache_path* points every worker (and the serial fallback) at one
     shared content-addressed artifact store; workers populate and read
     it race-free (atomic publication, checksum-verified reads).
+    *shared_cache_path* adds the optional multi-host read-through tier
+    behind the local store (entries are checksum-verified on import, so
+    a corrupted peer cannot poison this host's results).
+
+    *unit_timeout* is the per-unit wall-time watchdog: a unit that
+    exceeds it raises :class:`UnitTimeout` inside its worker (SIGALRM)
+    and is charged a failed attempt against *retries* — a hung unit can
+    no longer stall collection forever.  Should the executing process
+    be unable to interrupt itself (a hang inside an uninterruptible C
+    call), the collector additionally hard-kills the pool's workers
+    once a unit overstays ``2 x unit_timeout + 5s``; the break is then
+    handled exactly like a died worker (pool rebuild, in-flight units
+    charged one attempt).
     """
     units = list(units)
     total = len(units)
@@ -333,15 +417,16 @@ def run_parallel(
         )
 
     cache_arg = None if cache_path is None else str(cache_path)
+    shared_arg = None if shared_cache_path is None else str(shared_cache_path)
 
     if max_workers <= 1 or len(pending_idx) <= 1:
         if cache_arg is not None:
-            set_process_cache(cache_arg)
+            set_process_cache(cache_arg, shared=shared_arg)
         for i in pending_idx:
             attempt = 1
             while True:
                 try:
-                    res = execute_unit(units[i], attempt)
+                    res = execute_unit(units[i], attempt, unit_timeout)
                 except Exception as exc:
                     if attempt > retries:
                         finish_failed(i, attempt, exc)
@@ -358,7 +443,11 @@ def run_parallel(
 
     pending: Deque[Tuple[int, int]] = deque((i, 1) for i in pending_idx)
     in_flight: Dict[Future, Tuple[int, int]] = {}
+    deadlines: Dict[Future, float] = {}
     pool: Optional[ProcessPoolExecutor] = None
+    # collector-side backstop for hangs the in-worker SIGALRM cannot
+    # interrupt: give the watchdog one full budget to fire, then slack
+    hard_timeout = None if unit_timeout is None else 2 * unit_timeout + 5.0
 
     def requeue(idx: int, attempt: int, exc: BaseException) -> None:
         if attempt > retries:
@@ -389,7 +478,7 @@ def run_parallel(
                 pool = ProcessPoolExecutor(
                     max_workers=max_workers,
                     initializer=_worker_init,
-                    initargs=(cache_arg,),
+                    initargs=(cache_arg, shared_arg),
                 )
             broken = False
             # throttle submission to the pool width: a queued-but-not-
@@ -398,17 +487,53 @@ def run_parallel(
             while pending and not broken and len(in_flight) < max_workers:
                 i, attempt = pending.popleft()
                 try:
-                    fut = pool.submit(execute_unit, units[i], attempt)
+                    fut = pool.submit(
+                        execute_unit, units[i], attempt, unit_timeout
+                    )
                 except (BrokenProcessPool, RuntimeError):
                     pending.appendleft((i, attempt))
                     broken = True
                 else:
                     in_flight[fut] = (i, attempt)
+                    if hard_timeout is not None:
+                        deadlines[fut] = tick() + hard_timeout
             if in_flight and not broken:
-                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                wait_budget = None
+                if hard_timeout is not None:
+                    wait_budget = max(
+                        0.0,
+                        min(deadlines[f] for f in in_flight) - tick(),
+                    )
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=wait_budget,
+                    return_when=FIRST_COMPLETED,
+                )
                 for fut in done:
                     i, attempt = in_flight.pop(fut)
+                    deadlines.pop(fut, None)
                     broken |= collect(fut, i, attempt)
+                if not done and hard_timeout is not None:
+                    # a worker overstayed the hard deadline without the
+                    # in-worker watchdog firing (uninterruptible hang):
+                    # kill the pool's processes — the break is handled
+                    # like any died worker, charging in-flight units an
+                    # attempt each
+                    overdue = [
+                        units[in_flight[f][0]].key()
+                        for f in in_flight
+                        if deadlines.get(f, float("inf")) <= tick()
+                    ]
+                    if overdue:
+                        say(
+                            "[watchdog] unit(s) overstayed the hard "
+                            f"deadline ({hard_timeout:.0f}s): {overdue}; "
+                            "killing pool workers"
+                        )
+                        for proc in list(
+                            getattr(pool, "_processes", {}).values()
+                        ):
+                            proc.kill()
             if broken:
                 # every surviving future of a broken pool is doomed:
                 # drain them all, then rebuild from scratch
@@ -421,6 +546,7 @@ def run_parallel(
                     for fut, (i, attempt) in list(in_flight.items()):
                         collect(fut, i, attempt)
                     in_flight.clear()
+                    deadlines.clear()
                 pool.shutdown(wait=False)
                 pool = None
     finally:

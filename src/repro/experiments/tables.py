@@ -39,10 +39,12 @@ from repro.experiments.harness import (
 )
 from repro.metrics.saturation import measure_at_saturation
 from repro.metrics.utilization import utilization_report
+from repro.util.fsio import atomic_write_text
 from repro.util.rng import derive_seed
 from repro.util.tables import format_csv
 
 if TYPE_CHECKING:  # import cycle-free annotation only
+    from repro.experiments.distributed import WorkerConfig
     from repro.experiments.parallel import UnitFailure
 
 #: metric key -> (paper table number, pretty title)
@@ -122,6 +124,8 @@ def run_tables(
     retries: Optional[int] = None,
     clock=None,
     artifact_cache: Optional[Path] = None,
+    distributed: Optional["WorkerConfig"] = None,
+    unit_timeout: Optional[float] = None,
 ) -> TablesResult:
     """Regenerate Tables 1-4 by simulation at saturation.
 
@@ -135,13 +139,33 @@ def run_tables(
     byte-identically.  *retries*/*clock*/*artifact_cache* as in
     :func:`~repro.experiments.figure8.run_figure8` — the cache reuses
     the (topology, tree, routing) constructions a Figure-8 run of the
-    same preset already published.
+    same preset already published.  *distributed* joins a shared
+    multi-host campaign as one lease-claiming worker
+    (:mod:`repro.experiments.distributed`); *unit_timeout* bounds each
+    unit's wall time — both as in
+    :func:`~repro.experiments.figure8.run_figure8`.
     """
     ports_list = tuple(ports_list if ports_list is not None else preset.ports)
     result = TablesResult(preset=preset.name, kind="simulated", samples=preset.samples)
     thr: Dict[Tuple[str, str, int], List[float]] = {}
 
-    if workers > 1 or ledger_path is not None:
+    records: Optional[List[Dict[str, object]]] = None
+    if distributed is not None:
+        from repro.experiments.distributed import run_distributed
+        from repro.experiments.parallel import tables_units
+
+        units = tables_units(preset, ports_list, methods, algorithms)
+        records = run_distributed(
+            units,
+            distributed.stage_dir("tables"),
+            distributed,
+            progress=progress,
+            retries=retries,
+            unit_timeout=unit_timeout,
+            cache_path=artifact_cache,
+            failures=result.failures,
+        )
+    elif workers > 1 or ledger_path is not None:
         from repro.experiments.ledger import ResultLedger
         from repro.experiments.parallel import run_parallel, tables_units
 
@@ -153,7 +177,7 @@ def run_tables(
         )
         kwargs = {} if retries is None else {"retries": retries}
         try:
-            for res in run_parallel(
+            records = run_parallel(
                 units,
                 max_workers=workers,
                 progress=progress,
@@ -161,26 +185,28 @@ def run_tables(
                 clock=clock,
                 failures=result.failures,
                 cache_path=artifact_cache,
+                unit_timeout=unit_timeout,
                 **kwargs,
-            ):
-                alg, method, ports, sample, _rate = res["key"]
-                report = dict(res["report"])
-                for metric in _metric_order(report):
-                    result.raw.append(
-                        (metric, alg, method, ports, sample, report[metric])
-                    )
-                thr.setdefault((alg, method, ports), []).append(res["accepted"])
+            )
         finally:
             if ledger is not None:
                 ledger.close()
+
+    if records is not None:
+        for res in records:
+            alg, method, ports, sample, _rate = res["key"]
+            report = dict(res["report"])
+            for metric in _metric_order(report):
+                result.raw.append(
+                    (metric, alg, method, ports, sample, report[metric])
+                )
+            thr.setdefault((alg, method, ports), []).append(res["accepted"])
         _aggregate(result)
         for key, vals in thr.items():
             result.throughput[key] = sum(vals) / len(vals)
         if out_dir is not None:
-            out_dir = Path(out_dir)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / "tables_simulated.csv").write_text(
-                result.to_csv() + "\n", encoding="utf-8"
+            atomic_write_text(
+                Path(out_dir) / "tables_simulated.csv", result.to_csv() + "\n"
             )
         return result
 
@@ -225,10 +251,8 @@ def run_tables(
         result.throughput[key] = sum(vals) / len(vals)
 
     if out_dir is not None:
-        out_dir = Path(out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / "tables_simulated.csv").write_text(
-            result.to_csv() + "\n", encoding="utf-8"
+        atomic_write_text(
+            Path(out_dir) / "tables_simulated.csv", result.to_csv() + "\n"
         )
     return result
 
@@ -278,9 +302,7 @@ def run_static_tables(
     _aggregate(result)
 
     if out_dir is not None:
-        out_dir = Path(out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / "tables_static.csv").write_text(
-            result.to_csv() + "\n", encoding="utf-8"
+        atomic_write_text(
+            Path(out_dir) / "tables_static.csv", result.to_csv() + "\n"
         )
     return result

@@ -1,0 +1,46 @@
+"""Crash-safe filesystem primitives shared by the durability layers.
+
+The ledger, the artifact cache and the distributed executor all publish
+files that other processes read concurrently — possibly on another host
+through a shared filesystem.  The one safe publication idiom is
+write-to-temp + ``os.replace``: readers only ever observe a missing
+file or a complete one, never a torn prefix.  This module is the single
+home of that idiom so every campaign artefact (CSV, ASCII plot,
+manifest, lease, poison marker) uses exactly the same discipline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+from pathlib import Path
+from typing import Union
+
+#: per-process sequence in the temp-file name: pids alone can collide
+#: across hosts sharing one filesystem, host+pid+seq cannot (within a
+#: process's lifetime)
+_SEQ = itertools.count()
+
+
+def _tmp_name(name: str) -> str:
+    token = f"{socket.gethostname()}-{os.getpid()}-{next(_SEQ)}"
+    return f"tmp-{name}-{token}"
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Publish *text* at *path* atomically (tmp + fsync + ``os.replace``).
+
+    Concurrent writers may race; the loser's content simply replaces the
+    winner's, and a reader never sees a partial file.  Campaign artefact
+    writers rely on this when several distributed workers finish a stage
+    near-simultaneously and each publishes the (byte-identical) result.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / _tmp_name(path.name)
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)

@@ -24,6 +24,17 @@ def wall_clock() -> float:
     return time.perf_counter()
 
 
+def utc_stamp() -> str:
+    """Human-readable UTC timestamp for *diagnostic* sidecars only.
+
+    Never feeds a correctness decision: the distributed lease protocol
+    compares monotonic heartbeat counters, not timestamps, precisely so
+    that clock skew between hosts cannot cause double-execution
+    decisions.  This exists for operators reading lock-owner sidecars.
+    """
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
 def resolve_clock(clock: Optional[Clock]) -> Clock:
     """*clock* itself, or the real wall clock when ``None``."""
     return clock if clock is not None else wall_clock

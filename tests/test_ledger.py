@@ -11,6 +11,7 @@ import json
 import math
 import os
 import re
+import socket
 
 import pytest
 
@@ -26,8 +27,10 @@ from repro.experiments.ledger import (
 from repro.experiments.parallel import (
     TEST_FAULT_ENV,
     UnitFailure,
+    UnitTimeout,
     WorkUnit,
     default_max_workers,
+    execute_unit,
     figure8_units,
     run_parallel,
     run_unit,
@@ -464,3 +467,94 @@ class TestCLIFailureReporting:
         )
         assert rc == 0
         assert capsys.readouterr().err == ""
+
+
+class TestUnitWatchdog:
+    """The per-unit wall-time watchdog (``unit_timeout``)."""
+
+    def test_hung_unit_timed_out_and_retried_serial(
+        self, units, clean_results, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_FAULT_ENV, "down-up:hang:1")
+        lines = []
+        results = run_parallel(
+            list(units), max_workers=1, retries=1, unit_timeout=0.5,
+            progress=lines.append,
+        )
+        assert results == clean_results
+        assert any("[retry]" in ln and "UnitTimeout" in ln for ln in lines)
+
+    def test_hung_unit_exhausts_budget_pooled(self, units, monkeypatch):
+        monkeypatch.setenv(TEST_FAULT_ENV, "down-up:hang:99")
+        failures = []
+        results = run_parallel(
+            list(units), max_workers=2, retries=0, unit_timeout=0.5,
+            failures=failures,
+        )
+        doomed = {u.key() for u in units if u.algorithm == "down-up"}
+        assert {f.key for f in failures} == doomed
+        assert all("wall-time budget" in f.error for f in failures)
+        # the hung units never stalled their siblings
+        assert {r["key"] for r in results} == {
+            u.key() for u in units if u.algorithm == "l-turn"
+        }
+
+    def test_execute_unit_disarms_watchdog(self, units, monkeypatch):
+        monkeypatch.setenv(TEST_FAULT_ENV, "down-up:hang:9")
+        hung = next(u for u in units if u.algorithm == "down-up")
+        with pytest.raises(UnitTimeout, match="wall-time budget"):
+            execute_unit(hung, 1, 0.3)
+        monkeypatch.delenv(TEST_FAULT_ENV)
+        # the timer was disarmed: a slow follow-up unit is not shot down
+        res = execute_unit(hung, 1, None)
+        assert res["key"] == hung.key()
+
+    def test_cli_flag_reports_timeouts(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.__main__ import main as cli_main
+
+        monkeypatch.setenv(TEST_FAULT_ENV, "down-up:hang:99")
+        rc = cli_main(
+            [
+                "figure8", "--preset", "tiny", "--quiet", "--retries", "0",
+                "--unit-timeout", "0.5",
+                "--resume", str(tmp_path / "ledger.jsonl"),
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "exhausted their retry budget" in err
+        assert "wall-time budget" in err
+
+
+class TestLockOwnerDiagnostics:
+    """``LedgerLockedError`` names the lock holder via the owner sidecar."""
+
+    def test_locked_error_names_live_owner(self, tmp_path):
+        pytest.importorskip("fcntl")
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path):
+            with pytest.raises(LedgerLockedError) as exc_info:
+                ResultLedger(path)
+        msg = str(exc_info.value)
+        assert f"pid {os.getpid()}" in msg
+        assert socket.gethostname() in msg
+        assert "still alive" in msg
+
+    def test_sidecar_published_and_retired(self, tmp_path):
+        pytest.importorskip("fcntl")
+        path = tmp_path / "ledger.jsonl"
+        led = ResultLedger(path)
+        sidecar = tmp_path / "ledger.jsonl.owner.json"
+        info = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert info["pid"] == os.getpid()
+        assert info["host"] == socket.gethostname()
+        led.close()
+        assert not sidecar.exists()
+
+    def test_unknown_owner_degrades_gracefully(self, tmp_path):
+        pytest.importorskip("fcntl")
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path):
+            (tmp_path / "ledger.jsonl.owner.json").unlink()
+            with pytest.raises(LedgerLockedError, match="owner unknown"):
+                ResultLedger(path)
