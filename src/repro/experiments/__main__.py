@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.configs import PRESETS, get_preset
+from repro.simulator.config import ENGINES
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.harness import ALGORITHMS, PAPER_ALGORITHMS, PAPER_METHODS
 from repro.experiments.report import (
@@ -78,6 +79,12 @@ def _parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--workers", type=int, default=1,
             help="process-pool size for the simulations (default: serial)",
+        )
+        sp.add_argument(
+            "--engine", default=None, choices=sorted(ENGINES),
+            help="simulator step engine for every run (default: the "
+            "fast path, or $REPRO_ENGINE); results are bit-identical "
+            "across engines — this only trades speed",
         )
 
     def caching(sp, default_on=False):
@@ -192,6 +199,11 @@ def _parser() -> argparse.ArgumentParser:
     )
     wk.add_argument(
         "--samples", type=int, default=None, help="override sample count"
+    )
+    wk.add_argument(
+        "--engine", default=None, choices=sorted(ENGINES),
+        help="simulator step engine (bit-identical results; workers of "
+        "one campaign may even mix engines)",
     )
     wk.add_argument(
         "--worker", default=None, metavar="ID",
@@ -330,6 +342,16 @@ def _report_failures(failures) -> int:
     return 1
 
 
+def _scale_preset(args):
+    """Resolve the preset plus the common CLI overrides."""
+    preset = get_preset(args.preset)
+    if getattr(args, "samples", None):
+        preset = preset.scaled(samples=args.samples)
+    if getattr(args, "engine", None):
+        preset = preset.scaled(engine=args.engine)
+    return preset
+
+
 def _cache_dir(args, default=None):
     """Resolve the ``--artifact-cache``/``--no-artifact-cache`` pair."""
     if getattr(args, "no_artifact_cache", False):
@@ -370,9 +392,7 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_figure8(args) -> int:
-    preset = get_preset(args.preset)
-    if args.samples:
-        preset = preset.scaled(samples=args.samples)
+    preset = _scale_preset(args)
     result = run_figure8(
         preset,
         ports=args.ports,
@@ -394,9 +414,7 @@ def _cmd_figure8(args) -> int:
 
 
 def _cmd_tables(args, static: bool) -> int:
-    preset = get_preset(args.preset)
-    if args.samples:
-        preset = preset.scaled(samples=args.samples)
+    preset = _scale_preset(args)
     runner = run_static_tables if static else run_tables
     kwargs = (
         {}
@@ -452,7 +470,7 @@ def _cmd_sweep(args) -> int:
     from repro.simulator.vc_engine import simulate_vc
     from repro.util.tables import format_table
 
-    preset = get_preset(args.preset)
+    preset = _scale_preset(args)
     if args.switches:
         preset = preset.scaled(n_switches=args.switches)
     topology = make_topology(preset, args.ports, sample=0)
@@ -500,9 +518,7 @@ def _cmd_sweep(args) -> int:
 def _cmd_campaign(args) -> int:
     from repro.experiments.campaign import run_campaign
 
-    preset = get_preset(args.preset)
-    if args.samples:
-        preset = preset.scaled(samples=args.samples)
+    preset = _scale_preset(args)
     out = args.out or Path(f"results/campaign_{preset.name}")
     stages = run_campaign(
         preset,
@@ -528,9 +544,7 @@ def _cmd_work(args) -> int:
     from repro.experiments.campaign import run_campaign
     from repro.experiments.distributed import WorkerConfig, default_worker_id
 
-    preset = get_preset(args.preset)
-    if args.samples:
-        preset = preset.scaled(samples=args.samples)
+    preset = _scale_preset(args)
     campaign_dir = args.campaign_dir
     config = WorkerConfig(
         campaign_dir=campaign_dir,
@@ -570,7 +584,7 @@ def _cmd_live_faults(args) -> int:
     )
     from repro.faults import FaultSchedule
 
-    preset = get_preset(args.preset)
+    preset = _scale_preset(args)
     if args.switches:
         preset = preset.scaled(n_switches=args.switches)
     topology = make_topology(preset, args.ports, sample=0)

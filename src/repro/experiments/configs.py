@@ -22,7 +22,7 @@ All presets exercise identical code paths; only sizes differ.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.simulator.config import SimulationConfig
 
@@ -46,6 +46,11 @@ class ExperimentPreset:
     rates: Tuple[float, ...]
     rate_scale_8port: float
     seed: int
+    #: step-engine override for every run in the campaign
+    #: ("reference" / "fast" / "vectorized"); ``None`` defers to the
+    #: config default (``REPRO_ENGINE`` env, else the fast path).
+    #: Results are bit-identical either way — this only trades speed.
+    engine: Optional[str] = None
 
     def sim_config(self, seed: int) -> SimulationConfig:
         """Base simulator config (rate is set per sweep point)."""
@@ -55,6 +60,7 @@ class ExperimentPreset:
             warmup_clocks=self.warmup_clocks,
             measure_clocks=self.measure_clocks,
             seed=seed,
+            engine=self.engine,
         )
 
     def rates_for(self, ports: int) -> Tuple[float, ...]:

@@ -126,8 +126,16 @@ def unit_digest(unit) -> str:
     ports, sample, rate, seed salt *and every preset field including
     the seed* — so two units collide only when they would simulate the
     exact same thing.  Used as the ledger key for skip-on-resume.
+
+    The preset's ``engine`` override is deliberately *excluded*: every
+    step engine produces bit-identical results (enforced by
+    ``tests/test_engine_equivalence.py``), so a ledger written with one
+    engine must resume cleanly under another, and distributed workers
+    of one campaign may mix engines.
     """
     payload = dataclasses.asdict(unit)
+    if isinstance(payload.get("preset"), dict):
+        payload["preset"].pop("engine", None)
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
 

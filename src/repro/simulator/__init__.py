@@ -35,7 +35,7 @@ turning routing-level deadlock bugs into loud test failures (and is
 itself tested by routing flows around a deliberately open turn cycle).
 """
 
-from repro.simulator.config import SimulationConfig
+from repro.simulator.config import ENGINES, SimulationConfig
 from repro.simulator.engine import (
     DeadlockDetected,
     LivelockSuspected,
@@ -44,6 +44,8 @@ from repro.simulator.engine import (
 )
 from repro.simulator.stats import SimulationStats
 from repro.simulator.trace import PacketTrace, TraceRecorder
+from repro.simulator.vec_engine import VectorizedCore
+from repro.simulator.vec_state import ArrayState
 from repro.simulator.vc_engine import (
     VcDeadlockDetected,
     VirtualChannelSimulator,
@@ -60,7 +62,10 @@ from repro.simulator.traffic import (
 
 __all__ = [
     "SimulationConfig",
+    "ENGINES",
     "WormholeSimulator",
+    "VectorizedCore",
+    "ArrayState",
     "DeadlockDetected",
     "LivelockSuspected",
     "simulate",

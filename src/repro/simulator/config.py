@@ -9,8 +9,12 @@ presets (paper / midscale / quick) build on top of this in
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Optional
+
+#: step implementations selectable via :attr:`SimulationConfig.engine`
+ENGINES = ("reference", "fast", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -77,6 +81,17 @@ class SimulationConfig:
         **byte-identical** statistics for a fixed seed — enforced by the
         differential golden suite — so this knob only trades speed for
         auditability.
+    engine:
+        Explicit step-implementation selector, superseding *fast_path*
+        when set: ``"reference"`` (the seed golden model), ``"fast"``
+        (active-set scheduler) or ``"vectorized"`` (struct-of-arrays
+        numpy core, :mod:`repro.simulator.vec_engine`).  All three are
+        **bit-identical** for a fixed seed (same ``canonical_digest``),
+        enforced by the differential golden suite.  ``None`` (default)
+        falls back to the ``REPRO_ENGINE`` environment variable if set,
+        else to *fast_path*.  The VC engine has no vectorized body
+        phase (its body commits are RNG-ordered under shared link
+        budgets); ``"vectorized"`` there selects the fast path.
     """
 
     packet_length: int = 128
@@ -93,6 +108,7 @@ class SimulationConfig:
     selection_policy: str = "random"
     length_mix: Optional[tuple] = None
     fast_path: bool = True
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.packet_length < 1:
@@ -115,6 +131,10 @@ class SimulationConfig:
         if self.selection_policy not in ("random", "first", "least-congested"):
             raise ValueError(
                 f"unknown selection policy {self.selection_policy!r}"
+            )
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; pick one of {ENGINES}"
             )
         if self.length_mix is not None:
             mix = tuple(self.length_mix)
@@ -172,6 +192,39 @@ class SimulationConfig:
         """Copy of this config with a different seed."""
         return replace(self, seed=seed)
 
+    @property
+    def resolved_engine(self) -> str:
+        """The step implementation this config selects.
+
+        Precedence: the explicit :attr:`engine` field, then the
+        ``REPRO_ENGINE`` environment variable (lets CI and campaign
+        operators route default-configured runs through a different
+        engine without touching code), then :attr:`fast_path`.
+        """
+        if self.engine is not None:
+            return self.engine
+        env = os.environ.get("REPRO_ENGINE")
+        if env:
+            if env not in ENGINES:
+                raise ValueError(
+                    f"REPRO_ENGINE={env!r} is not one of {ENGINES}"
+                )
+            return env
+        return "fast" if self.fast_path else "reference"
+
     def with_fast_path(self, fast_path: bool) -> "SimulationConfig":
-        """Copy of this config selecting the engine step implementation."""
-        return replace(self, fast_path=fast_path)
+        """Copy of this config selecting the engine step implementation.
+
+        Pins :attr:`engine` explicitly (not just the boolean) so
+        differential scenarios stay pinned even under a ``REPRO_ENGINE``
+        environment override.
+        """
+        return replace(
+            self,
+            fast_path=fast_path,
+            engine="fast" if fast_path else "reference",
+        )
+
+    def with_engine(self, engine: Optional[str]) -> "SimulationConfig":
+        """Copy of this config pinned to a step implementation."""
+        return replace(self, engine=engine)

@@ -145,11 +145,25 @@ class WormholeSimulator:
         #: clocks since nothing that feeds it changed
         self._req_cache: Optional[List[tuple]] = None
         self._req_dirty_until = -1
-        self._move_impl = (
-            self._move_fast
-            if getattr(config, "fast_path", True)
-            else self._move_bodies_and_heads
+        #: which step implementation runs ("reference" / "fast" /
+        #: "vectorized"); resolved once — engine selection is per-run
+        self.engine_name = (
+            config.resolved_engine
+            if hasattr(config, "resolved_engine")
+            else ("fast" if getattr(config, "fast_path", True) else "reference")
         )
+        if self.engine_name == "vectorized":
+            # deferred import: vec_engine imports nothing from here at
+            # module level, but keeping the scalar engines importable
+            # without numpy-heavy extras is cheap insurance
+            from repro.simulator.vec_engine import VectorizedCore
+
+            self._vec = VectorizedCore(self)
+            self._move_impl = self._vec.move
+        elif self.engine_name == "fast":
+            self._move_impl = self._move_fast
+        else:
+            self._move_impl = self._move_bodies_and_heads
 
     # ------------------------------------------------------------------
     # routing tables (epoch-atomic swap point)

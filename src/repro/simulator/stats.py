@@ -73,6 +73,10 @@ class StatsCollector:
         self.sched_visited_worms = 0
         self.sched_active_worms = 0
         self.sched_clocks = 0
+        #: vectorized-engine telemetry: flits moved by the batched body
+        #: phase and clocks it ran, summed over measured clocks
+        self.vec_moved_flits = 0
+        self.vec_clocks = 0
 
     # hooks called by the engine ---------------------------------------
     def on_channel_entry(self, cid: int) -> None:
@@ -172,6 +176,8 @@ class StatsCollector:
             sched_visited_worms=self.sched_visited_worms,
             sched_active_worms=self.sched_active_worms,
             sched_clocks=self.sched_clocks,
+            vec_moved_flits=int(self.vec_moved_flits),
+            vec_clocks=self.vec_clocks,
         )
 
 
@@ -217,6 +223,12 @@ class SimulationStats:
     sched_visited_worms: int = 0
     sched_active_worms: int = 0
     sched_clocks: int = 0
+    #: vectorized-engine telemetry (zero on the scalar paths): flits
+    #: moved by the batched body phase and measured clocks it ran.
+    #: Engine bookkeeping, NOT simulated physics — deliberately
+    #: excluded from :meth:`canonical_digest`.
+    vec_moved_flits: int = 0
+    vec_clocks: int = 0
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -283,6 +295,18 @@ class SimulationStats:
         if self.sched_active_worms <= 0:
             return float("nan")
         return self.sched_visited_worms / self.sched_active_worms
+
+    @property
+    def vec_flits_per_clock(self) -> float:
+        """Mean flits the vectorized body phase moved per clock.
+
+        Batch-size telemetry of the struct-of-arrays engine (``nan``
+        on the scalar paths) — large values mean each numpy scatter
+        amortized over many flits.
+        """
+        if self.vec_clocks <= 0:
+            return float("nan")
+        return self.vec_moved_flits / self.vec_clocks
 
     def canonical_digest(self) -> str:
         """SHA-256 over every *simulated-physics* field of this snapshot.

@@ -1,19 +1,26 @@
 """Engine equivalence harnesses.
 
-Two independent layers of cross-checking:
+Three independent layers of cross-checking:
 
-* **Differential golden suite** (``TestFastPathDifferential``): the
-  fast-path step implementations (active-set scheduler + decision
-  cache) must replay the seed reference implementations *byte for
-  byte* — every RNG draw, every grant, every committed flit.  Each
-  scenario runs both paths under a fixed seed and compares
+* **Differential golden suite** (``TestEngineDifferential``): every
+  step implementation — the seed reference ``_move``, the active-set /
+  decision-cache fast path, and the struct-of-arrays vectorized core —
+  must replay the same simulation *byte for byte*: every RNG draw,
+  every grant, every committed flit.  Each scenario runs all three
+  engines under a fixed seed and compares
   :meth:`SimulationStats.canonical_digest`, which hashes every
-  simulated-physics field of the result.
+  simulated-physics field of the result.  The reference engine is the
+  oracle; the other two are optimizations that must be invisible.
 
 * **Cross-engine consistency**: base engine vs VC engine at
   ``num_vcs=1`` — two independently written step functions modelling
   the same machine must agree statistically.
+
+* **Vectorized white-box tests** live in ``test_vectorized_engine.py``
+  (epoch invalidation, injection interleaving, telemetry exclusion).
 """
+
+import dataclasses
 
 import pytest
 
@@ -27,32 +34,41 @@ from repro.faults import (
 from repro.routing.duato import build_duato_routing
 from repro.routing.updown import build_up_down_routing
 from repro.simulator import (
+    ENGINES,
     SimulationConfig,
     VirtualChannelSimulator,
     WormholeSimulator,
     simulate,
     simulate_vc,
 )
-from repro.simulator.traffic import HotspotTraffic
+from repro.simulator.traffic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    TornadoTraffic,
+)
 from repro.topology import zoo
 from repro.topology.generator import random_irregular_topology
 
 
 # ---------------------------------------------------------------------------
-# differential golden suite: fast path == reference, byte for byte
+# differential golden suite: all engines agree, byte for byte
 # ---------------------------------------------------------------------------
-def _digest_pair(make_sim, cfg):
-    """Canonical digests of one scenario under both step implementations."""
-    out = []
-    for fast in (False, True):
-        sim = make_sim(cfg.with_fast_path(fast))
-        out.append(sim.run().canonical_digest())
-    return out
+def _digests(make_sim, cfg, engines=ENGINES):
+    """Canonical digests of one scenario under each step engine."""
+    return [make_sim(cfg.with_engine(e)).run().canonical_digest() for e in engines]
 
 
-def _fault_runtime(topo, policy="drop"):
+def _assert_equal(digests):
+    assert len(set(digests)) == 1, (
+        "engines diverged: " + ", ".join(
+            f"{e}={d[:12]}" for e, d in zip(ENGINES, digests)
+        )
+    )
+
+
+def _fault_runtime(topo, policy="drop", rng=42, window=(800, 2_200)):
     sched = FaultSchedule.random(
-        topo, permanent_links=2, window=(800, 2_200), rng=42
+        topo, permanent_links=2, window=window, rng=rng
     )
     ctrl = ReconfigurationController(
         lambda sub: build_down_up_routing(sub, rng=7), drain_clocks=64
@@ -60,7 +76,7 @@ def _fault_runtime(topo, policy="drop"):
     return FaultRuntime(sched, ctrl, retry=RetryPolicy(), policy=policy)
 
 
-class TestFastPathDifferential:
+class TestEngineDifferential:
     """Golden differential scenarios: digests must match exactly."""
 
     @pytest.fixture(scope="class")
@@ -80,28 +96,86 @@ class TestFastPathDifferential:
 
     def test_base_uniform(self, net, cfg):
         _topo, routing = net
-        a, b = _digest_pair(lambda c: WormholeSimulator(routing, c), cfg)
-        assert a == b
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
 
     def test_base_hotspot(self, net, cfg):
         topo, routing = net
         traffic = HotspotTraffic(topo.n, hotspots=(3, 11), fraction=0.3)
-        a, b = _digest_pair(
-            lambda c: WormholeSimulator(routing, c, traffic=traffic), cfg
+        _assert_equal(
+            _digests(lambda c: WormholeSimulator(routing, c, traffic=traffic), cfg)
         )
-        assert a == b
+
+    def test_base_tornado(self, net, cfg):
+        topo, routing = net
+        traffic = TornadoTraffic(topo.n)
+        _assert_equal(
+            _digests(lambda c: WormholeSimulator(routing, c, traffic=traffic), cfg)
+        )
+
+    def test_base_bitcomplement(self, net, cfg):
+        topo, routing = net
+        traffic = BitComplementTraffic(topo.n)
+        _assert_equal(
+            _digests(lambda c: WormholeSimulator(routing, c, traffic=traffic), cfg)
+        )
 
     @pytest.mark.parametrize("policy", ["random", "first", "least-congested"])
     def test_base_selection_policies(self, net, cfg, policy):
-        import dataclasses
-
         _topo, routing = net
         cfg = dataclasses.replace(cfg, selection_policy=policy)
-        a, b = _digest_pair(lambda c: WormholeSimulator(routing, c), cfg)
-        assert a == b
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
+
+    def test_base_up_down_routing(self, net, cfg):
+        topo, _routing = net
+        routing = build_up_down_routing(topo)
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
+
+    @pytest.mark.parametrize("buffer_flits", [1, 4])
+    def test_base_buffer_depths(self, net, cfg, buffer_flits):
+        """Deep buffers change the body-advance mask; depth-1 is the
+        tightest coupling between the capacity gather and the grants."""
+        _topo, routing = net
+        cfg = dataclasses.replace(cfg, buffer_flits=buffer_flits)
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
+
+    def test_base_zero_load(self, net, cfg):
+        """No traffic at all: the quiescent batched step must not drift
+        the RNG stream or invent phantom movement."""
+        _topo, routing = net
+        cfg = dataclasses.replace(cfg, injection_rate=0.0)
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
+
+    def test_base_saturation(self, net):
+        """Every source always has a worm queued: maximal arbitration
+        pressure, maximal request-list churn."""
+        _topo, routing = net
+        cfg = SimulationConfig(
+            packet_length=24,
+            injection_rate=1.0,
+            warmup_clocks=300,
+            measure_clocks=1_200,
+            seed=17,
+        )
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
+
+    def test_base_128_switches(self):
+        """The scale point where the vectorized body phase amortizes."""
+        topo = random_irregular_topology(128, 4, rng=5)
+        routing = build_down_up_routing(topo, rng=7)
+        cfg = SimulationConfig(
+            packet_length=64,
+            injection_rate=0.3,
+            warmup_clocks=300,
+            measure_clocks=1_200,
+            seed=7,
+        )
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
 
     @pytest.mark.parametrize("policy", ["drop", "drain"])
     def test_base_with_fault_schedule(self, net, cfg, policy):
+        """Mid-run reconfiguration: table swap + dead-channel masking
+        must invalidate and rebuild the vectorized array state
+        atomically — any stale entry diverges the digest."""
         topo, routing = net
 
         def make(c):
@@ -109,34 +183,51 @@ class TestFastPathDifferential:
             sim.attach_faults(_fault_runtime(topo, policy))
             return sim
 
-        a, b = _digest_pair(make, cfg)
-        assert a == b
+        _assert_equal(_digests(make, cfg))
+
+    @pytest.mark.parametrize("rng", [3, 11])
+    def test_base_fault_mid_grant_window(self, net, cfg, rng):
+        """Fault events landing inside active header-grant windows (the
+        narrow schedule window forces kills while worms are mid-route,
+        not at convenient quiescent points)."""
+        topo, routing = net
+
+        def make(c):
+            sim = WormholeSimulator(routing, c)
+            sim.attach_faults(
+                _fault_runtime(topo, "drain", rng=rng, window=(901, 1_105))
+            )
+            return sim
+
+        _assert_equal(_digests(make, cfg))
 
     def test_vc_replicate_uniform(self, net, cfg):
+        """The VC engine resolves ``vectorized`` to its own fast path
+        (per-VC link budgets serialize body commits), so all three
+        engine names must still agree bit-for-bit."""
         _topo, routing = net
-        a, b = _digest_pair(
-            lambda c: VirtualChannelSimulator(routing, c, num_vcs=2), cfg
+        _assert_equal(
+            _digests(lambda c: VirtualChannelSimulator(routing, c, num_vcs=2), cfg)
         )
-        assert a == b
 
     def test_vc_replicate_hotspot(self, net, cfg):
         topo, routing = net
         traffic = HotspotTraffic(topo.n, hotspots=(5,), fraction=0.25)
-        a, b = _digest_pair(
-            lambda c: VirtualChannelSimulator(
-                routing, c, num_vcs=2, traffic=traffic
-            ),
-            cfg,
+        _assert_equal(
+            _digests(
+                lambda c: VirtualChannelSimulator(
+                    routing, c, num_vcs=2, traffic=traffic
+                ),
+                cfg,
+            )
         )
-        assert a == b
 
     def test_vc_duato(self, net, cfg):
         topo, routing = net
         duato = build_duato_routing(topo, routing)
-        a, b = _digest_pair(
-            lambda c: VirtualChannelSimulator(duato, c, num_vcs=3), cfg
+        _assert_equal(
+            _digests(lambda c: VirtualChannelSimulator(duato, c, num_vcs=3), cfg)
         )
-        assert a == b
 
     def test_vc_with_fault_schedule(self, net, cfg):
         topo, routing = net
@@ -146,8 +237,7 @@ class TestFastPathDifferential:
             sim.attach_faults(_fault_runtime(topo, "drain"))
             return sim
 
-        a, b = _digest_pair(make, cfg)
-        assert a == b
+        _assert_equal(_digests(make, cfg))
 
     def test_length_mix_and_bounded_queues(self, net):
         """Length mixes and finite queues exercise extra RNG draws."""
@@ -161,8 +251,7 @@ class TestFastPathDifferential:
             length_mix=((8, 0.5), (32, 0.5)),
             max_queue=4,
         )
-        a, b = _digest_pair(lambda c: WormholeSimulator(routing, c), cfg)
-        assert a == b
+        _assert_equal(_digests(lambda c: WormholeSimulator(routing, c), cfg))
 
     def test_sched_telemetry_only_on_fast_path(self, net, cfg):
         """The digest excludes scheduler telemetry, which only the fast
@@ -174,6 +263,16 @@ class TestFastPathDifferential:
         assert fast.sched_clocks == cfg.measure_clocks
         assert 0.0 < fast.active_set_occupancy < 1.0
 
+    def test_vec_telemetry_only_on_vectorized_engine(self, net, cfg):
+        """Same for the vectorized core's moved-flit telemetry."""
+        _topo, routing = net
+        fast = WormholeSimulator(routing, cfg.with_engine("fast")).run()
+        vec = WormholeSimulator(routing, cfg.with_engine("vectorized")).run()
+        assert fast.vec_clocks == 0
+        assert vec.vec_clocks == cfg.measure_clocks
+        assert vec.vec_moved_flits > 0
+        assert vec.vec_flits_per_clock > 0.0
+
 
 class TestUnloadedEquivalence:
     @pytest.mark.parametrize("length", [1, 8, 32])
@@ -184,7 +283,6 @@ class TestUnloadedEquivalence:
         streams differently, so generated traffic is not comparable
         packet-for-packet — aggregates are compared in the loaded tests
         below)."""
-        from repro.simulator import VirtualChannelSimulator, WormholeSimulator
         from repro.simulator.packet import Worm
 
         topo = zoo.line(4)

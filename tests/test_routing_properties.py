@@ -15,9 +15,18 @@ precomputed tables:
   is the operational face of the Dally-Seitz condition — the full
   admissible graph is verified acyclic at build time, and any cycle
   among taken routes would have to be a cycle of that graph.
+
+The hypothesis section below re-checks both properties over *random*
+(topology, algorithm, traffic) triples under the vectorized engine,
+and adds an engine shootout: for random scenarios, all three step
+engines must produce the identical per-worm delivery record — not just
+equal aggregates, but the same packets taking the same channels at the
+same clocks.
 """
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.downup import build_down_up_routing
 from repro.routing.channel_graph import find_cycle
@@ -103,6 +112,85 @@ class TestTakenRouteProperties:
     def test_taken_dependency_graph_acyclic(self, algo, seed):
         topo, routing, turns = self._campaign(algo, seed)
         _assert_taken_graph_acyclic(topo, turns)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis campaigns: random triples, vectorized engine
+# ---------------------------------------------------------------------------
+_PROPERTY_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,  # flit-level simulation; wall time varies by scenario
+    derandomize=True,  # CI determinism: the same examples every run
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_scenario(draw):
+    """One random (topology, routing, traffic, config) scenario."""
+    topo_rng = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.sampled_from([12, 16, 20]))
+    algo = draw(st.sampled_from(sorted(BUILDERS)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rate = draw(st.sampled_from([0.08, 0.2, 0.5]))
+    topo = random_irregular_topology(n, 4, rng=topo_rng)
+    routing = BUILDERS[algo](topo, seed)
+    if draw(st.booleans()):
+        traffic = HotspotTraffic(
+            topo.n, hotspots=(seed % topo.n,), fraction=0.3
+        )
+    else:
+        traffic = UniformTraffic(topo.n)
+    cfg = SimulationConfig(
+        packet_length=draw(st.sampled_from([4, 12, 24])),
+        injection_rate=rate,
+        warmup_clocks=0,
+        measure_clocks=500,
+        seed=seed,
+    )
+    return topo, routing, traffic, cfg
+
+
+class TestRandomTriplesVectorized:
+    """Route legality of random campaigns under ``engine: vectorized``."""
+
+    @_PROPERTY_SETTINGS
+    @given(st.data())
+    def test_turns_legal_and_taken_graph_acyclic(self, data):
+        topo, routing, traffic, cfg = _random_scenario(data.draw)
+        sim = WormholeSimulator(
+            routing, cfg.with_engine("vectorized"), traffic=traffic
+        )
+        sim.tracer = TraceRecorder(max_packets=50_000)
+        sim.run()
+        turns = _taken_turns(sim.tracer)
+        _assert_turns_legal(topo, routing, turns)
+        _assert_taken_graph_acyclic(topo, turns)
+
+
+class TestEngineShootout:
+    """Random scenarios: all engines produce the identical per-worm
+    delivery record — same packets, same channels, same clocks."""
+
+    @staticmethod
+    def _delivery_record(routing, cfg, traffic, engine):
+        sim = WormholeSimulator(
+            routing, cfg.with_engine(engine), traffic=traffic
+        )
+        sim.tracer = TraceRecorder(max_packets=50_000)
+        stats = sim.run()
+        record = tuple(
+            (t.pid, t.src, t.dst, tuple(t.events)) for t in sim.tracer
+        )
+        return record, stats.canonical_digest()
+
+    @_PROPERTY_SETTINGS
+    @given(st.data())
+    def test_identical_per_worm_records(self, data):
+        _topo, routing, traffic, cfg = _random_scenario(data.draw)
+        ref = self._delivery_record(routing, cfg, traffic, "reference")
+        for engine in ("fast", "vectorized"):
+            got = self._delivery_record(routing, cfg, traffic, engine)
+            assert got == ref, f"{engine} diverged from the reference engine"
 
 
 class TestTracedPathsAreRoutes:

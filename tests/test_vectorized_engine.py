@@ -1,0 +1,228 @@
+"""White-box tests of the struct-of-arrays vectorized engine.
+
+The differential golden suite (``test_engine_equivalence.py``) proves
+end-to-end bit-identity; this file pins the vectorized core's internal
+contracts so a regression fails with a targeted message instead of a
+digest mismatch:
+
+* **Injection interleaving**: the scalar engines discover injection
+  requests through the event wheel in per-source order and free an
+  emptied source port during body *commit* (after arbitration).  The
+  vectorized batch body phase runs before the request scan, so it must
+  defer those port releases — otherwise a queued back-to-back worm
+  injects one clock early.  The regression test drives several sources
+  with same-clock back-to-back worms and compares per-worm event logs
+  across all three engines.
+* **Epoch invalidation**: after any external mutation of worm state
+  the arrays are rebuilt *atomically* from the worm objects; the
+  rebuild/sync pair is a round trip at any mid-run clock.
+* **Telemetry exclusion**: ``vec_*`` and ``sched_*`` counters are
+  observability, not physics — ``canonical_digest`` must ignore them.
+* **Engine selection**: config knob, ``REPRO_ENGINE`` env fallback,
+  validation, and the VC engine's documented fallback to its fast path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.downup import build_down_up_routing
+from repro.simulator import (
+    SimulationConfig,
+    VirtualChannelSimulator,
+    WormholeSimulator,
+)
+from repro.simulator.packet import Worm
+from repro.simulator.trace import TraceRecorder
+from repro.topology.generator import random_irregular_topology
+
+
+@pytest.fixture(scope="module")
+def net():
+    topo = random_irregular_topology(16, 4, rng=3)
+    return topo, build_down_up_routing(topo, rng=7)
+
+
+def _cfg(**overrides):
+    base = dict(
+        packet_length=6,
+        injection_rate=0.0,
+        warmup_clocks=0,
+        measure_clocks=400,
+        seed=5,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestInjectionInterleaving:
+    """Same-clock multi-source injection with back-to-back queues."""
+
+    @staticmethod
+    def _record(routing, cfg, engine, n):
+        sim = WormholeSimulator(routing, cfg.with_engine(engine))
+        pid = 0
+        # three back-to-back worms at each of four sources, all queued
+        # for clock 0: the wheel sees four same-clock injection
+        # requests, and each port is re-requested the moment it frees
+        for src in (0, 3, 7, 11):
+            for _ in range(3):
+                w = Worm(pid, src, (src + n // 2) % n, 6, 0)
+                sim.queues[src].append(w)
+                sim.worms[pid] = w  # what _generate_packets would do
+                sim._wheel.wake(src)
+                pid += 1
+        sim.tracer = TraceRecorder(max_packets=1_000)
+        stats = sim.run()
+        events = tuple(
+            (t.pid, t.src, t.dst, tuple(t.events)) for t in sim.tracer
+        )
+        return events, stats.canonical_digest()
+
+    def test_per_worm_events_identical_across_engines(self, net):
+        topo, routing = net
+        cfg = _cfg()
+        ref = self._record(routing, cfg, "reference", topo.n)
+        assert any(
+            e[1] == "inject" for rec in ref[0] for e in rec[3]
+        ), "scenario never injected — not exercising the wheel at all"
+        for engine in ("fast", "vectorized"):
+            got = self._record(routing, cfg, engine, topo.n)
+            assert got == ref, (
+                f"{engine} interleaved same-clock injections differently "
+                "from the reference event wheel"
+            )
+
+
+class TestEpochContract:
+    """Array state must always be reconstructible from the worm objects."""
+
+    @staticmethod
+    def _loaded_sim(routing, clocks=300):
+        cfg = _cfg(injection_rate=0.4, measure_clocks=600)
+        sim = WormholeSimulator(routing, cfg.with_engine("vectorized"))
+        for _ in range(clocks):
+            sim.step()
+        assert sim.active, "scenario went idle — raise the load"
+        return sim
+
+    def test_sync_rebuild_roundtrip_mid_run(self, net):
+        """Rebuilding from the synced objects reproduces the live
+        arrays — over the physics-bearing entries: sink slots are
+        free-running consumption counters nothing reads back, and
+        ``dn`` is only defined while a channel holds flits."""
+        _topo, routing = net
+        sim = self._loaded_sim(routing)
+        vec = sim._vec
+        st = vec.state
+        vec.sync()
+        flits = st.flits.copy()
+        dn = st.dn.copy()
+        occ = st.occ.copy()
+        st.rebuild(sim)
+        assert np.array_equal(st.flits[: st.SINK0], flits[: st.SINK0])
+        assert np.array_equal(st.occ, occ)
+        held = flits[: st.SINK0] > 0
+        assert np.array_equal(st.dn[: st.SINK0][held], dn[: st.SINK0][held])
+        assert np.array_equal(st.cap_dn, st.cap_at[st.dn])
+
+    def test_sync_restores_worm_flit_accounting(self, net):
+        _topo, routing = net
+        sim = self._loaded_sim(routing)
+        sim._vec.sync()
+        for w in sim.active:
+            assert w.consumed >= 0
+            assert w.flits_at_source >= 0
+            assert all(f >= 0 for f in w.chain_flits)
+            assert w.consumed + w.flits_at_source + sum(w.chain_flits) == w.length
+
+    def test_dirty_rebuild_recovers_from_clobbered_arrays(self, net):
+        """An atomic rebuild restores *everything* from the objects:
+        clobbering every array and raising the dirty flag mid-run must
+        leave the remaining simulation bit-identical to the fast path."""
+        _topo, routing = net
+        cfg = _cfg(injection_rate=0.4, measure_clocks=600)
+        sim = WormholeSimulator(routing, cfg.with_engine("vectorized"))
+        sim.stats.active = True  # zero warmup: replicate run()'s driver
+        for k in (150, 300, 450):
+            while sim.clock < k:
+                sim.step()
+                sim.stats.window_clocks += 1
+            vec = sim._vec
+            vec.sync()  # objects coherent, then scribble on the arrays
+            vec.state.flits[:] = 0
+            vec.state.dn[:] = vec.state.D
+            vec.state.occ[:] = -1
+            vec.state.rebuild(sim)
+        while sim.clock < cfg.total_clocks:
+            sim.step()
+            sim.stats.window_clocks += 1
+        vec_digest = sim.stats.finalize(
+            sum(len(q) for q in sim.queues)
+        ).canonical_digest()
+        fast_digest = (
+            WormholeSimulator(routing, cfg.with_engine("fast"))
+            .run()
+            .canonical_digest()
+        )
+        assert vec_digest == fast_digest
+
+
+class TestTelemetryExclusion:
+    """Observability counters never leak into the physics digest."""
+
+    def test_vec_and_sched_counters_excluded(self, net):
+        _topo, routing = net
+        cfg = _cfg(injection_rate=0.3)
+        stats = WormholeSimulator(routing, cfg.with_engine("vectorized")).run()
+        assert stats.vec_clocks == cfg.measure_clocks
+        scrubbed = dataclasses.replace(
+            stats,
+            vec_moved_flits=0,
+            vec_clocks=0,
+            sched_visited_worms=0,
+            sched_active_worms=0,
+            sched_clocks=0,
+        )
+        assert scrubbed.canonical_digest() == stats.canonical_digest()
+        # sanity: a physics field *does* change the digest
+        bumped = dataclasses.replace(
+            stats, delivered_packets=stats.delivered_packets + 1
+        )
+        assert bumped.canonical_digest() != stats.canonical_digest()
+
+
+class TestEngineSelection:
+    def test_engine_name_reflects_resolution(self, net, monkeypatch):
+        _topo, routing = net
+        cfg = _cfg()
+        assert (
+            WormholeSimulator(routing, cfg.with_engine("vectorized")).engine_name
+            == "vectorized"
+        )
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert WormholeSimulator(routing, cfg).engine_name == "fast"
+
+    def test_vc_vectorized_falls_back_to_fast(self, net):
+        _topo, routing = net
+        sim = VirtualChannelSimulator(
+            routing, _cfg().with_engine("vectorized"), num_vcs=2
+        )
+        assert sim.engine_name == "fast"
+
+    def test_env_override_and_precedence(self, monkeypatch):
+        cfg = _cfg()
+        monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+        assert cfg.resolved_engine == "vectorized"
+        # the explicit field beats the environment
+        assert cfg.with_engine("reference").resolved_engine == "reference"
+        monkeypatch.setenv("REPRO_ENGINE", "warp-drive")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            cfg.resolved_engine
+        monkeypatch.delenv("REPRO_ENGINE")
+        assert cfg.resolved_engine == "fast"
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            _cfg(engine="warp-drive")
