@@ -20,6 +20,11 @@ from repro.analysis.resilience import (
     degrade_topology,
     resilience_study,
 )
+from repro.analysis.turn_slack import (
+    render_turn_slack_table,
+    turn_slack_csv,
+    turn_slack_rows,
+)
 
 __all__ = [
     "expected_channel_load",
@@ -31,4 +36,7 @@ __all__ = [
     "ResiliencePoint",
     "degrade_topology",
     "resilience_study",
+    "render_turn_slack_table",
+    "turn_slack_csv",
+    "turn_slack_rows",
 ]

@@ -1,0 +1,59 @@
+"""Reporting for turn-optimality audits (``repro-experiments audit``).
+
+Renders :class:`~repro.statics.audit.TurnAuditReport` collections as the
+repo's standard fixed-width table / CSV — the golden-output surface of
+the ``audit --table`` CLI, so the column set and formatting here are
+covered by an exact-string test and must only change deliberately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.statics.audit import TurnAuditReport
+from repro.util.tables import format_table
+
+_HEADERS = [
+    "topology",
+    "switches",
+    "channels",
+    "prohibited",
+    "vacuous",
+    "necessary",
+    "slack %",
+    "verdict",
+]
+
+
+def turn_slack_rows(reports: Sequence[TurnAuditReport]) -> List[List[object]]:
+    """Table rows, one per audited topology (input order preserved)."""
+    return [
+        [
+            r.topology,
+            r.n,
+            r.num_channels,
+            r.prohibited,
+            r.vacuous_prohibited,
+            r.necessary,
+            f"{r.slack_pct:.1f}",
+            r.verdict,
+        ]
+        for r in reports
+    ]
+
+
+def render_turn_slack_table(reports: Sequence[TurnAuditReport]) -> str:
+    """The fixed-width summary table (no trailing newline)."""
+    return format_table(
+        _HEADERS,
+        turn_slack_rows(reports),
+        title="Turn-optimality audit (DOWN/UP prohibited-turn set)",
+    )
+
+
+def turn_slack_csv(reports: Sequence[TurnAuditReport]) -> str:
+    """CSV form of the same table (header + rows, trailing newline)."""
+    lines = [",".join(h.replace(" %", "_pct") for h in _HEADERS)]
+    for row in turn_slack_rows(reports):
+        lines.append(",".join(str(x) for x in row))
+    return "\n".join(lines) + "\n"

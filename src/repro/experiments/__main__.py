@@ -9,6 +9,7 @@ Subcommands map one-to-one onto the paper's evaluation artefacts::
     python -m repro.experiments work --campaign-dir /shared/run --preset paperlite
     python -m repro.experiments sweep --preset quick --traffic tornado --vcs 2
     python -m repro.experiments certify --preset quick --fault-links 2
+    python -m repro.experiments audit --zoo mesh3x3 ring8 --table
     python -m repro.experiments cache stats results/campaign_paperlite/artifact_cache
     python -m repro.experiments erratum
     python -m repro.experiments info
@@ -302,6 +303,40 @@ def _parser() -> argparse.ArgumentParser:
     cf.add_argument("--fault-seed", type=int, default=42,
                     help="seed of the pre-flight fault schedule")
     cf.add_argument("--quiet", action="store_true",
+                    help="suppress progress lines")
+
+    au = sub.add_parser(
+        "audit",
+        help="deadlock-freedom existence oracle + turn-optimality audit "
+        "of the DOWN/UP prohibited-turn set over the topology zoo",
+    )
+    au.add_argument(
+        "--zoo", nargs="+", default=None, metavar="NAME",
+        help="zoo topologies to audit (default: the whole registry; "
+        "see `repro-experiments info`)",
+    )
+    au.add_argument(
+        "--table", action="store_true",
+        help="print only the summary table (stable golden output)",
+    )
+    au.add_argument("--out", type=Path, default=None,
+                    help="write audit.csv + audit.txt here")
+    au.add_argument(
+        "--artifact-cache", type=Path, default=None, metavar="DIR",
+        help="serve repeated audits from a content-addressed store "
+        "(keyed by topology digest + prohibited-turn set)",
+    )
+    au.add_argument(
+        "--resume", type=Path, default=None, metavar="LEDGER",
+        help="durable JSONL ledger: completed audits are skipped when "
+        "the run restarts",
+    )
+    au.add_argument(
+        "--require-slack", action="store_true",
+        help="exit nonzero unless every audited topology shows nonzero "
+        "prohibited-turn slack (CI gate)",
+    )
+    au.add_argument("--quiet", action="store_true",
                     help="suppress progress lines")
 
     ca = sub.add_parser(
@@ -698,6 +733,59 @@ def _cmd_certify(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    from repro.analysis.turn_slack import render_turn_slack_table
+    from repro.experiments.auditing import DEFAULT_AUDIT_ZOO, run_topology_audits
+    from repro.topology.zoo import zoo_names
+
+    names = args.zoo or list(DEFAULT_AUDIT_ZOO)
+    unknown = [n for n in names if n not in zoo_names()]
+    if unknown:
+        print(
+            f"ERROR: unknown zoo topolog{'ies' if len(unknown) > 1 else 'y'} "
+            f"{', '.join(unknown)}; available: {', '.join(zoo_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    reports = run_topology_audits(
+        names,
+        out_dir=args.out,
+        artifact_cache=args.artifact_cache,
+        ledger_path=args.resume,
+        progress=_progress(args.quiet or args.table),
+    )
+    if not args.table:
+        for r in reports:
+            print(f"{r.summary()}")
+            if r.necessary_turns:
+                print(f"  necessary: {', '.join(r.necessary_turns)}")
+            if r.redundant_turns:
+                print(f"  individually droppable: {len(r.redundant_turns)} turn(s)")
+            print(f"  digest: {r.digest[:23]}")
+        print()
+    print(render_turn_slack_table(reports))
+
+    rc = 0
+    bad = [r for r in reports if not r.feasible or not r.witness_rechecked]
+    if bad:
+        print(
+            "ERROR: existence/recheck failed for: "
+            + ", ".join(r.topology for r in bad),
+            file=sys.stderr,
+        )
+        rc = 1
+    if args.require_slack:
+        flat = [r for r in reports if r.feasible and r.slack_pct <= 0.0]
+        if flat:
+            print(
+                "ERROR: zero prohibited-turn slack on: "
+                + ", ".join(r.topology for r in flat),
+                file=sys.stderr,
+            )
+            rc = 1
+    return rc
+
+
 def _cmd_erratum() -> int:
     from repro.core.communication_graph import CommunicationGraph
     from repro.core.coordinated_tree import build_coordinated_tree
@@ -742,6 +830,9 @@ def _cmd_info() -> int:
             f"clocks={p.warmup_clocks}+{p.measure_clocks}"
         )
     print("algorithms:", ", ".join(sorted(ALGORITHMS)))
+    from repro.topology.zoo import zoo_names
+
+    print("zoo:", ", ".join(zoo_names()))
     return 0
 
 
@@ -764,6 +855,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_live_faults(args)
     if args.command == "certify":
         return _cmd_certify(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "erratum":

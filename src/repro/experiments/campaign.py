@@ -79,7 +79,10 @@ def run_campaign(
     1. ``figure8-4port`` — Figure 8(a) CSV + ASCII plot + summary;
     2. ``figure8-8port`` — Figure 8(b) (only if the preset has 8-port);
     3. ``tables`` — Tables 1-4 simulated at saturation (CSV + rendered);
-    4. ``static-tables`` — the exact static cross-check.
+    4. ``static-tables`` — the exact static cross-check;
+    5. ``audit`` — the turn-optimality audit of DOWN/UP's prohibited-turn
+       set over the canonical topology zoo (``audit.csv`` / ``audit.txt``,
+       see :mod:`repro.experiments.auditing`).
 
     Resumability is two-level.  Stage-level: a stage whose artefacts
     exist is skipped.  Unit-level: the simulation stages stream every
@@ -237,6 +240,29 @@ def run_campaign(
             manifest["winners"]["static"] = winners(result, preset.ports)
 
         stage("static-tables", ["tables_static.csv", "tables_static.txt"], static_stage)
+
+        def audit_stage() -> None:
+            # turn-optimality audit over the canonical zoo: cheap, pure
+            # static analysis, cached and resumable like every other
+            # stage (distributed workers skip it via the artefact check
+            # once one of them has published the outputs)
+            from repro.experiments.auditing import (
+                DEFAULT_AUDIT_ZOO,
+                run_topology_audits,
+            )
+
+            run_topology_audits(
+                DEFAULT_AUDIT_ZOO,
+                out_dir=out_dir,
+                artifact_cache=cache_dir,
+                ledger_path=(
+                    None if distributed is not None else stage_ledger("audit")
+                ),
+                resume=not force,
+                progress=progress,
+            )
+
+        stage("audit", ["audit.csv", "audit.txt"], audit_stage)
 
     manifest["stages"] = {
         r.name: {

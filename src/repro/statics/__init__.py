@@ -15,10 +15,21 @@ transcription error warns about.  This package closes the loop with the
     Dally-Seitz condition), one witness path per ordered switch pair
     (connectivity), and distance-decrease witnesses (progress).
 ``check``
-    An independent re-checker that validates a certificate against only
-    the raw topology adjacency and turn prohibitions.  It imports
-    nothing from :mod:`repro.routing` or :mod:`repro.core`, so a bug in
-    the construction stack cannot certify itself.
+    An independent re-checker that validates a certificate (or an
+    existence report) against only the raw topology adjacency and turn
+    prohibitions.  It imports nothing from :mod:`repro.routing` or
+    :mod:`repro.core`, so a bug in the construction stack cannot
+    certify itself.
+``existence``
+    The prior question: does *any* deadlock-free connected routing
+    exist under a prohibited-turn set?  A stdlib-only decision
+    procedure (:func:`decide_existence`) returning a digest-stamped
+    :class:`ExistenceReport` — a constructive witness or a minimal
+    infeasibility core, both re-verifiable through ``check``.
+``audit``
+    The turn-optimality auditor: per topology, how much of DOWN/UP's
+    18-turn prohibition is vacuous or redundant under the Theorem-1
+    certification criterion (:func:`audit_topology`).
 ``preflight``
     Enumerates every degraded state a
     :class:`~repro.faults.schedule.FaultSchedule` can induce and
@@ -45,7 +56,23 @@ from repro.statics.check import (
     CheckFailure,
     CheckReport,
     check_certificate,
+    check_existence_report,
     recheck,
+    recheck_existence,
+)
+from repro.statics.existence import (
+    EXISTENCE_FORMAT,
+    ExistenceReport,
+    ExistenceWitness,
+    InfeasibilityCore,
+    TurnSystem,
+    decide_existence,
+    full_relation_acyclic,
+)
+from repro.statics.audit import (
+    TurnAuditReport,
+    audit_existence,
+    audit_topology,
 )
 from repro.statics.preflight import (
     FaultState,
@@ -71,7 +98,19 @@ __all__ = [
     "CheckFailure",
     "CheckReport",
     "check_certificate",
+    "check_existence_report",
     "recheck",
+    "recheck_existence",
+    "EXISTENCE_FORMAT",
+    "ExistenceReport",
+    "ExistenceWitness",
+    "InfeasibilityCore",
+    "TurnSystem",
+    "decide_existence",
+    "full_relation_acyclic",
+    "TurnAuditReport",
+    "audit_existence",
+    "audit_topology",
     "FaultState",
     "PreflightEntry",
     "induced_fault_states",

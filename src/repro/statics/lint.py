@@ -41,6 +41,17 @@ linter enforces them statically, with five repo-specific rules:
     input-closure key for it.  Everywhere else, loaded bytes are
     untrusted and must pass the full Theorem-1 / Definition-2 checks.
 
+``STA006`` *no numpy.random references outside repro.util.rng*
+    STA002 bans *calling* into ``numpy.random``; this closes the
+    loophole of smuggling the module or its constructors out by
+    reference (``factory = np.random.default_rng``,
+    ``make(np.random)``, ``from numpy.random import default_rng``
+    then aliasing it) and constructing elsewhere.  Any ``numpy.random``
+    reference outside :mod:`repro.util.rng` is flagged — except type
+    annotations (``rng: np.random.Generator`` documents an *injected*
+    source, exactly the sanctioned pattern) and the call targets STA002
+    already reports.
+
 Run as ``python -m repro.statics.lint [paths...]`` (defaults to the
 installed ``repro`` package); exits non-zero when violations exist.
 """
@@ -168,6 +179,35 @@ def _normalise(full: str) -> str:
     return full.replace("numpy.random.mtrand", "numpy.random")
 
 
+def _is_numpy_random(full: str) -> bool:
+    return full == "numpy.random" or full.startswith("numpy.random.")
+
+
+def _annotation_node_ids(tree: ast.Module) -> set:
+    """ids of every AST node inside a type annotation.
+
+    Annotations are the sanctioned place to *name* ``np.random.Generator``
+    (they document an injected source, they construct nothing), so
+    STA006 exempts them wholesale.
+    """
+    roots: List[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            a = node.args
+            for arg in [*a.posonlyargs, *a.args, *a.kwonlyargs, a.vararg, a.kwarg]:
+                if arg is not None and arg.annotation is not None:
+                    roots.append(arg.annotation)
+            if node.returns is not None:
+                roots.append(node.returns)
+        elif isinstance(node, ast.AnnAssign):
+            roots.append(node.annotation)
+    ids: set = set()
+    for root in roots:
+        for sub in ast.walk(root):
+            ids.add(id(sub))
+    return ids
+
+
 def _function_returns_routing(node: ast.FunctionDef) -> bool:
     ann = node.returns
     if ann is None:
@@ -238,6 +278,40 @@ def lint_source(
                 f"direct RNG construction {full}() — take an explicit "
                 f"seeded source via repro.util.rng instead",
             )
+
+    # --- STA006: numpy.random references beyond call targets -----------
+    if rel not in RNG_ALLOWED:
+        exempt = _annotation_node_ids(tree)
+        # the call targets STA002 already reports: exempt the func
+        # expression so one smuggled constructor yields one finding
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                full = _dotted_name(node.func, aliases)
+                if full is not None and _is_numpy_random(_normalise(full)):
+                    for sub in ast.walk(node.func):
+                        exempt.add(id(sub))
+        # ast.walk visits parents before their children, so flagging a
+        # chain's outermost node and exempting its descendants reports
+        # `np.random.default_rng` once, not three times
+        for node in ast.walk(tree):
+            if id(node) in exempt:
+                continue
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            full = _dotted_name(node, aliases)
+            if full is None:
+                continue
+            full = _normalise(full)
+            if _is_numpy_random(full):
+                add(
+                    node,
+                    "STA006",
+                    f"reference to {full} outside repro.util.rng — "
+                    f"randomness must flow through an explicitly seeded "
+                    f"source (type annotations are exempt)",
+                )
+                for sub in ast.walk(node):
+                    exempt.add(id(sub))
 
     # --- STA005: unverified deserialization ----------------------------
     if rel not in UNVERIFIED_DESERIALIZATION_ALLOWED:

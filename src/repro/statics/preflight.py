@@ -10,12 +10,24 @@ and pushes every table through both :func:`certify_routing` and the
 independent checker — so a schedule whose induced routing could not be
 certified is rejected before any simulation cycles are burnt, and an
 archival run can store the digest of every table it will ever install.
+
+Rebuild + certification happen once per *distinct survivor topology*,
+not once per induced state: different fault events frequently collapse
+to the same survivors (a switch death implies its incident links), and
+the controller would install byte-identical tables for them.  States
+are deduped by the survivor's content digest, and an
+:class:`~repro.experiments.artifacts.ArtifactCache` can additionally be
+passed so repeated preflights (across runs or schedules) serve the
+certificate bundle content-addressed instead of rebuilding.  The
+independent re-check always runs — cached bytes get the same scrutiny
+as fresh ones.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.faults.controller import surviving_topology
 from repro.faults.schedule import LINK_DOWN, LINK_UP, FaultSchedule
@@ -84,11 +96,27 @@ def induced_fault_states(schedule: FaultSchedule) -> List[FaultState]:
     return states
 
 
+def survivor_digest(topology: Topology) -> str:
+    """Content digest of a survivor topology (dedupe/cache key).
+
+    Same serialization the artifact store hashes
+    (:func:`repro.experiments.artifacts.topology_digest` is this exact
+    computation), so preflight cache keys line up with campaign cache
+    keys without this module importing the experiments layer.
+    """
+    from repro.topology.serialization import topology_to_json
+
+    payload = topology_to_json(topology).encode("utf-8")
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
 def preflight_schedule(
     schedule: FaultSchedule,
     builder,
     strict: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    cache=None,
+    cache_label: str = "preflight",
 ) -> List[PreflightEntry]:
     """Certify the rebuilt routing for every state *schedule* induces.
 
@@ -101,18 +129,49 @@ def preflight_schedule(
     (default) the first failing certificate raises
     :class:`~repro.statics.check.CertificateError`; otherwise failures
     are returned in the entries' reports.
+
+    States whose survivor topology is identical (by content digest)
+    share one rebuild + certification: every entry is still returned,
+    carrying the shared bundle.  *cache* optionally names an
+    :class:`~repro.experiments.artifacts.ArtifactCache` (anything with
+    its ``certificate(key, build)`` protocol); bundles are then served
+    content-addressed under ``{survivor digest, cache_label}``.
+    **cache_label must distinguish builders**: two different builders
+    preflighted against the same store with the same label would alias
+    — pass the algorithm name (the certify CLI does).  The independent
+    check runs on served bundles too; only rebuild + certification are
+    skipped.
     """
     build: Callable[[Topology], RoutingFunction] = getattr(
         builder, "builder", builder
     )
     say = progress or (lambda msg: None)
     entries: List[PreflightEntry] = []
+    certified: Dict[str, Tuple[str, CertificateBundle]] = {}
     for state in induced_fault_states(schedule):
         sub, _live = surviving_topology(
             schedule.topology, state.dead_links, state.dead_switches
         )
-        routing = verify_routing(build(sub))
-        bundle = certify_routing(routing)
+        digest = survivor_digest(sub)
+        hit = certified.get(digest)
+        if hit is None:
+            def _certified_bundle() -> CertificateBundle:
+                routing = verify_routing(build(sub))
+                return certify_routing(routing)
+
+            if cache is not None:
+                bundle = cache.certificate(
+                    {"topology": digest, "algorithm": cache_label,
+                     "purpose": "preflight"},
+                    _certified_bundle,
+                )
+            else:
+                bundle = _certified_bundle()
+            hit = (bundle.algorithm, bundle)
+            certified[digest] = hit
+        else:
+            say(f"[preflight] {state.describe()} -> survivor already certified")
+        routing_name, bundle = hit
         if strict:
             report = recheck(bundle)
         else:
@@ -120,13 +179,13 @@ def preflight_schedule(
 
             report = check_certificate(bundle)
         say(
-            f"[preflight] {state.describe()} -> {routing.name} "
+            f"[preflight] {state.describe()} -> {routing_name} "
             f"{bundle.digest[:23]} {'ok' if report.ok else 'FAILED'}"
         )
         entries.append(
             PreflightEntry(
                 state=state,
-                routing_name=routing.name,
+                routing_name=routing_name,
                 bundle=bundle,
                 report=report,
             )

@@ -105,3 +105,44 @@ def binary_tree(levels: int) -> Topology:
     n = (1 << levels) - 1
     links = [((v - 1) // 2, v) for v in range(1, n)]
     return Topology(n, links, ports=3)
+
+
+# ---------------------------------------------------------------------------
+# the named zoo: canonical small instances for audits, docs and CI
+# ---------------------------------------------------------------------------
+
+#: name -> zero-argument constructor of a canonical instance.  The
+#: turn-optimality auditor (``repro-experiments audit``) iterates this
+#: registry, so entries must stay deterministic and small enough for
+#: exhaustive per-pair analysis.
+ZOO_BUILDERS = {
+    "line8": lambda: line(8),
+    "ring8": lambda: ring(8),
+    "star8": lambda: star(8),
+    "mesh3x3": lambda: mesh(3, 3),
+    "mesh4x4": lambda: mesh(4, 4),
+    "torus3x3": lambda: torus(3, 3),
+    "hypercube3": lambda: hypercube(3),
+    "complete6": lambda: complete(6),
+    "tree3": lambda: binary_tree(3),
+}
+
+
+def zoo_names() -> List[str]:
+    """Registry keys, in registration order."""
+    return list(ZOO_BUILDERS)
+
+
+def zoo_topology(name: str) -> Topology:
+    """The canonical zoo instance called *name*.
+
+    Raises ``KeyError`` with the available names for typos — the CLI
+    surfaces this directly.
+    """
+    try:
+        builder = ZOO_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown zoo topology {name!r}; available: {', '.join(ZOO_BUILDERS)}"
+        ) from None
+    return builder()

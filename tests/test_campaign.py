@@ -18,7 +18,9 @@ def tiny():
 
 def test_campaign_produces_all_artefacts(tiny, tmp_path):
     stages = run_campaign(tiny, tmp_path)
-    assert [s.name for s in stages] == ["figure8-4port", "tables", "static-tables"]
+    assert [s.name for s in stages] == [
+        "figure8-4port", "tables", "static-tables", "audit"
+    ]
     assert not any(s.skipped for s in stages)
     for name in (
         "figure8_4port.csv",
@@ -27,6 +29,8 @@ def test_campaign_produces_all_artefacts(tiny, tmp_path):
         "tables_simulated.txt",
         "tables_static.csv",
         "tables_static.txt",
+        "audit.csv",
+        "audit.txt",
         "manifest.json",
     ):
         assert (tmp_path / name).exists(), name
@@ -45,7 +49,7 @@ def test_manifest_contents(tiny, tmp_path):
     manifest = json.loads((tmp_path / "manifest.json").read_text())
     assert manifest["preset"]["n_switches"] == tiny.n_switches
     assert set(manifest["stages"]) == {
-        "figure8-4port", "tables", "static-tables"
+        "figure8-4port", "tables", "static-tables", "audit"
     }
     assert "simulated" in manifest["winners"]
 
@@ -94,7 +98,7 @@ def test_campaign_writes_unit_ledgers(tiny, tmp_path):
 
     run_campaign(tiny, tmp_path)
     manifest = json.loads((tmp_path / "manifest.json").read_text())
-    for stage in ("figure8-4port", "tables"):
+    for stage in ("figure8-4port", "tables", "audit"):
         name = manifest["stages"][stage]["ledger"]
         records = read_records(tmp_path / name)
         assert records and all(r["status"] == "ok" for r in records)

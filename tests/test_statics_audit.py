@@ -1,0 +1,176 @@
+"""Turn-optimality auditor: verdicts, slack accounting, durability, golden table.
+
+The zoo numbers asserted here are the auditor's empirical ground truth:
+every topology is feasible under DOWN/UP's 18-turn PT with nonzero
+slack, trees/lines/stars make the whole PT vacuous (100% slack), and
+the greedy minimization never keeps a turn it could drop.  The golden
+table pins the CLI/campaign artefact byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.turn_slack import render_turn_slack_table, turn_slack_csv
+from repro.experiments.auditing import run_topology_audits
+from repro.statics.audit import TurnAuditReport, audit_topology
+from repro.topology.zoo import zoo_names, zoo_topology
+
+GOLDEN_TABLE = """\
+Turn-optimality audit (DOWN/UP prohibited-turn set)
+topology | switches | channels | prohibited | vacuous | necessary | slack % | verdict \n\
+---------+----------+----------+------------+---------+-----------+---------+---------
+mesh3x3  |        9 |       24 |         18 |      15 |         2 |    88.9 | feasible
+ring8    |        8 |       16 |         18 |      16 |         2 |    88.9 | feasible
+tree3    |        7 |       12 |         18 |      18 |         0 |   100.0 | feasible"""
+
+
+@pytest.fixture(scope="module")
+def mesh_report():
+    return audit_topology(zoo_topology("mesh3x3"), name="mesh3x3")
+
+
+class TestAuditTopology:
+    @pytest.mark.parametrize("name", zoo_names())
+    def test_zoo_feasible_with_slack(self, name):
+        report = audit_topology(zoo_topology(name), name=name)
+        assert report.feasible and report.verdict == "feasible"
+        assert report.witness_rechecked
+        assert report.full_relation_acyclic
+        assert report.unreachable_pairs == 0
+        assert report.prohibited == 18
+        # trees/lines/stars realize none of the PT (necessary == 0);
+        # no zoo topology needs the full 18 turns
+        assert 0 <= report.necessary < report.prohibited
+        assert report.slack_pct > 0
+
+    def test_tree_makes_whole_pt_vacuous(self):
+        # a tree has no cross-links: none of the 18 prohibited class
+        # turns is ever realized, so the PT is pure slack
+        report = audit_topology(zoo_topology("tree3"), name="tree3")
+        assert report.vacuous_prohibited == report.prohibited == 18
+        assert report.necessary == 0
+        assert report.slack_pct == 100.0
+        assert report.necessary_turns == ()
+
+    def test_accounting_is_consistent(self, mesh_report):
+        r = mesh_report
+        assert r.vacuous_prohibited + r.realized_prohibited == r.prohibited
+        assert len(r.necessary_turns) == r.necessary
+        # a necessary turn is never individually droppable, so the two
+        # turn lists cannot overlap
+        assert not set(r.necessary_turns) & set(r.redundant_turns)
+        assert r.digest.startswith("sha256:")
+        assert r.existence_digest.startswith("sha256:")
+
+    def test_payload_roundtrip(self, mesh_report):
+        clone = TurnAuditReport.from_json(mesh_report.to_json())
+        assert clone == mesh_report
+        assert clone.digest == mesh_report.digest
+
+    def test_payload_format_guard(self, mesh_report):
+        data = json.loads(mesh_report.to_json())
+        data["format"] = "bogus"
+        with pytest.raises(ValueError, match="unsupported audit format"):
+            TurnAuditReport.from_payload(data)
+
+    def test_summary_mentions_slack(self, mesh_report):
+        assert "slack 88.9%" in mesh_report.summary()
+        assert "feasible" in mesh_report.summary()
+
+
+class TestGoldenTable:
+    def test_rendered_table_matches_golden(self):
+        reports = [
+            audit_topology(zoo_topology(n), name=n)
+            for n in ("mesh3x3", "ring8", "tree3")
+        ]
+        assert render_turn_slack_table(reports) == GOLDEN_TABLE
+
+    def test_csv_header_and_rows(self, mesh_report):
+        csv = turn_slack_csv([mesh_report])
+        lines = csv.strip().split("\n")
+        assert lines[0] == (
+            "topology,switches,channels,prohibited,vacuous,necessary,"
+            "slack_pct,verdict"
+        )
+        assert lines[1].startswith("mesh3x3,9,24,18,15,2,88.9,feasible")
+
+
+class TestDurability:
+    def test_artifact_cache_serves_second_run(self, tmp_path):
+        from repro.experiments.artifacts import ArtifactCache
+
+        cache_dir = tmp_path / "cache"
+        first = run_topology_audits(["ring8"], artifact_cache=cache_dir)
+        second = run_topology_audits(["ring8"], artifact_cache=cache_dir)
+        assert first == second
+        assert first[0].digest == second[0].digest
+        # the second run must not rebuild: everything is a cache hit
+        cache = ArtifactCache(cache_dir)
+        probe = run_topology_audits(["ring8"], artifact_cache=cache_dir)
+        assert probe == first
+
+    def test_ledger_resume_skips_completed_audits(self, tmp_path):
+        ledger = tmp_path / "ledger_audit.jsonl"
+        first = run_topology_audits(["ring8", "tree3"], ledger_path=ledger)
+        seen = []
+        second = run_topology_audits(
+            ["ring8", "tree3"],
+            ledger_path=ledger,
+            resume=True,
+            progress=seen.append,
+        )
+        assert second == first
+        assert all("served from ledger" in msg for msg in seen)
+
+    def test_out_dir_artefacts(self, tmp_path):
+        out = tmp_path / "out"
+        reports = run_topology_audits(["mesh3x3"], out_dir=out)
+        assert (out / "audit.csv").read_text() == turn_slack_csv(reports)
+        assert (
+            out / "audit.txt"
+        ).read_text() == render_turn_slack_table(reports) + "\n"
+
+    def test_unknown_zoo_name_raises(self):
+        with pytest.raises(KeyError, match="unknown zoo topology"):
+            run_topology_audits(["mesh9x9"])
+
+
+class TestAuditCLI:
+    def cli(self, args):
+        from repro.experiments.__main__ import main as cli_main
+
+        return cli_main(args)
+
+    def test_table_output_is_golden(self, capsys):
+        rc = self.cli(
+            ["audit", "--zoo", "mesh3x3", "ring8", "tree3",
+             "--table", "--require-slack"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert GOLDEN_TABLE in out
+
+    def test_verbose_mode_prints_summaries(self, capsys):
+        rc = self.cli(["audit", "--zoo", "tree3", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "audit[tree3]" in out
+        assert "sha256:" in out
+
+    def test_unknown_name_is_usage_error(self, capsys):
+        rc = self.cli(["audit", "--zoo", "mesh9x9"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "mesh9x9" in err
+
+    def test_writes_artefacts(self, tmp_path, capsys):
+        rc = self.cli(
+            ["audit", "--zoo", "ring8", "--quiet", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        assert (tmp_path / "audit.csv").exists()
+        assert (tmp_path / "audit.txt").exists()

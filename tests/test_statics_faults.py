@@ -170,3 +170,83 @@ class TestPreflight:
             sched.topology, entry.state.dead_links, entry.state.dead_switches
         )
         assert remapped.meta["certificate_digest"] == entry.bundle.digest
+
+
+def counting(builder):
+    """Wrap *builder*, counting invocations in ``wrapper.calls``."""
+
+    def wrapper(sub):
+        wrapper.calls += 1
+        return builder(sub)
+
+    wrapper.calls = 0
+    return wrapper
+
+
+class TestPreflightDedupe:
+    def collapsing_schedule(self, ring6):
+        # distinct fault states with the same survivor: {l12, s2} and
+        # {s2} remove exactly the same resources, because killing switch
+        # 2 already implies link (1, 2).  The validator (correctly)
+        # refuses to flap a dead switch's link, so the sequence is
+        # constructed unchecked — the dedupe must still collapse it.
+        return FaultSchedule(
+            ring6,
+            [
+                FaultEvent(cycle=10, kind="link_down", link=(1, 2)),
+                FaultEvent(cycle=20, kind="switch_down", switch=2),
+                FaultEvent(cycle=30, kind="link_up", link=(1, 2)),
+            ],
+            check=False,
+        )
+
+    def test_identical_survivors_certify_once(self, ring6):
+        sched = self.collapsing_schedule(ring6)
+        build = counting(lambda sub: build_down_up_routing(sub, rng=7))
+        entries = preflight_schedule(sched, build)
+        # three induced states, but the last two share one survivor
+        assert len(entries) == 3
+        assert build.calls == 2
+        assert entries[1].bundle is entries[2].bundle
+        assert entries[0].bundle.digest != entries[1].bundle.digest
+        # every entry still gets its own independent re-check
+        assert all(e.report.ok for e in entries)
+
+    def test_artifact_cache_serves_repeat_preflights(self, ring6, tmp_path):
+        from repro.experiments.artifacts import ArtifactCache
+
+        sched = self.collapsing_schedule(ring6)
+        first = counting(lambda sub: build_down_up_routing(sub, rng=7))
+        entries = preflight_schedule(
+            sched, first, cache=ArtifactCache(tmp_path), cache_label="downup"
+        )
+        assert first.calls == 2
+
+        again = counting(lambda sub: build_down_up_routing(sub, rng=7))
+        cache = ArtifactCache(tmp_path)
+        repeat = preflight_schedule(
+            sched, again, cache=cache, cache_label="downup"
+        )
+        # the bundles are served content-addressed: no rebuild at all,
+        # but the independent check still ran on the served bytes
+        assert again.calls == 0
+        assert cache.counters.total_hits >= 2
+        assert all(e.report.ok for e in repeat)
+        assert [e.bundle.digest for e in repeat] == [
+            e.bundle.digest for e in entries
+        ]
+
+    def test_distinct_labels_do_not_alias(self, ring6, tmp_path):
+        from repro.experiments.artifacts import ArtifactCache
+
+        sched = self.collapsing_schedule(ring6)
+        a = counting(lambda sub: build_down_up_routing(sub, rng=7))
+        preflight_schedule(
+            sched, a, cache=ArtifactCache(tmp_path), cache_label="downup"
+        )
+        b = counting(lambda sub: build_down_up_routing(sub, rng=11))
+        preflight_schedule(
+            sched, b, cache=ArtifactCache(tmp_path), cache_label="downup-r11"
+        )
+        # a different label keys different artifacts: b really rebuilt
+        assert a.calls == 2 and b.calls == 2

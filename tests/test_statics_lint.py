@@ -6,7 +6,7 @@ from __future__ import annotations
 import textwrap
 from pathlib import Path
 
-from repro.statics.lint import lint_paths, lint_source
+from repro.statics.lint import lint_file, lint_paths, lint_source
 
 SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
@@ -171,6 +171,65 @@ class TestSTA005UnverifiedDeserialization:
 
     def test_unguarded_loader_is_ignored(self):
         assert codes("x = parse_thing(text, verify=False)\n") == []
+
+
+class TestSTA006RandomnessReferences:
+    def test_unbound_constructor_reference_fires(self):
+        # not a call, so STA002 stays quiet — STA006 catches the smuggle
+        assert codes(
+            "import numpy as np\nfactory = np.random.default_rng\n"
+        ) == ["STA006"]
+
+    def test_module_object_as_argument_fires(self):
+        assert codes(
+            "import numpy as np\nmake(np.random)\n"
+        ) == ["STA006"]
+
+    def test_from_import_binding_fires(self):
+        assert codes(
+            "from numpy.random import default_rng\nf = default_rng\n"
+        ) == ["STA006"]
+
+    def test_call_reports_sta002_exactly_once(self):
+        # the call target is STA002's domain; STA006 must not double-report
+        assert codes(
+            "import numpy as np\nr = np.random.default_rng(3)\n"
+        ) == ["STA002"]
+
+    def test_annotation_is_exempt(self):
+        assert codes(
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> np.random.Generator:\n"
+            "    return rng\n"
+        ) == []
+
+    def test_annassign_annotation_is_exempt(self):
+        assert codes(
+            "import numpy as np\nrng: np.random.Generator = make()\n"
+        ) == []
+
+    def test_rng_module_is_allowed(self):
+        assert (
+            codes(
+                "import numpy as np\nfactory = np.random.default_rng\n",
+                module_rel="repro/util/rng.py",
+            )
+            == []
+        )
+
+    def test_stdlib_random_is_not_sta006(self):
+        # stdlib `random` is STA002's concern (on call); bare references
+        # to it are not numpy.random and STA006 stays quiet
+        assert codes("import random\nr = random\n") == []
+
+    def test_vectorized_engine_modules_are_clean(self):
+        # the PR-7 numpy modules: randomness must flow through
+        # repro.util.rng there too, references included
+        for rel in ("simulator/vec_engine.py", "simulator/vec_state.py"):
+            violations = lint_file(SRC / rel)
+            assert violations == [], "\n".join(
+                v.render() for v in violations
+            )
 
 
 class TestMachinery:
