@@ -9,6 +9,7 @@ Subcommands map one-to-one onto the paper's evaluation artefacts::
     python -m repro.experiments work --campaign-dir /shared/run --preset paperlite
     python -m repro.experiments sweep --preset quick --traffic tornado --vcs 2
     python -m repro.experiments certify --preset quick --fault-links 2
+    python -m repro.experiments equivalence --candidate batch --seeds 10
     python -m repro.experiments audit --zoo mesh3x3 ring8 --table
     python -m repro.experiments cache stats results/campaign_paperlite/artifact_cache
     python -m repro.experiments erratum
@@ -31,7 +32,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.configs import PRESETS, get_preset
-from repro.simulator.config import ENGINES
+from repro.simulator.config import BIT_EXACT_ENGINES, ENGINES
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.harness import ALGORITHMS, PAPER_ALGORITHMS, PAPER_METHODS
 from repro.experiments.report import (
@@ -84,8 +85,10 @@ def _parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--engine", default=None, choices=sorted(ENGINES),
             help="simulator step engine for every run (default: the "
-            "fast path, or $REPRO_ENGINE); results are bit-identical "
-            "across engines — this only trades speed",
+            "fast path, or $REPRO_ENGINE); reference/fast/vectorized "
+            "are bit-identical — choosing among them only trades speed "
+            "— while 'batch' is certified statistically (see the "
+            "equivalence subcommand) and changes result identities",
         )
 
     def caching(sp, default_on=False):
@@ -203,8 +206,10 @@ def _parser() -> argparse.ArgumentParser:
     )
     wk.add_argument(
         "--engine", default=None, choices=sorted(ENGINES),
-        help="simulator step engine (bit-identical results; workers of "
-        "one campaign may even mix engines)",
+        help="simulator step engine; workers of one campaign may mix "
+        "the bit-identical engines (reference/fast/vectorized) freely, "
+        "but 'batch' results carry engine-variant unit digests and "
+        "never merge with bit-exact shards",
     )
     wk.add_argument(
         "--worker", default=None, metavar="ID",
@@ -303,6 +308,40 @@ def _parser() -> argparse.ArgumentParser:
     cf.add_argument("--fault-seed", type=int, default=42,
                     help="seed of the pre-flight fault schedule")
     cf.add_argument("--quiet", action="store_true",
+                    help="suppress progress lines")
+
+    eq = sub.add_parser(
+        "equivalence",
+        help="statistical A/B certification of a relaxed engine "
+        "('batch') against the bit-exact oracles: paired per-seed "
+        "runs, Bonferroni-corrected paired-t CIs + latency KS gate",
+    )
+    eq.add_argument(
+        "--candidate", default="batch", choices=sorted(ENGINES),
+        help="engine under certification (default: batch)",
+    )
+    eq.add_argument(
+        "--oracles", nargs="+", default=["fast", "vectorized"],
+        choices=sorted(BIT_EXACT_ENGINES),
+        help="bit-exact engines to certify against (default: both "
+        "fast and vectorized)",
+    )
+    eq.add_argument(
+        "--seeds", type=int, default=10,
+        help="paired seeds per (scenario, engine) cell (default: 10)",
+    )
+    eq.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="family-wise false-rejection rate of the whole gate "
+        "(default: 0.05, Bonferroni-split across every test)",
+    )
+    eq.add_argument(
+        "--switches", type=int, default=None,
+        help="override the quick matrix's switch count",
+    )
+    eq.add_argument("--json", type=Path, default=None, metavar="PATH",
+                    help="also write the full report as JSON")
+    eq.add_argument("--quiet", action="store_true",
                     help="suppress progress lines")
 
     au = sub.add_parser(
@@ -733,6 +772,36 @@ def _cmd_certify(args) -> int:
     return 0
 
 
+def _cmd_equivalence(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.simulator.equivalence import QUICK_MATRIX, certify
+
+    scenarios = QUICK_MATRIX
+    if args.switches:
+        scenarios = tuple(
+            dataclasses.replace(sc, switches=args.switches)
+            for sc in scenarios
+        )
+    report = certify(
+        candidate=args.candidate,
+        oracles=tuple(args.oracles),
+        scenarios=scenarios,
+        seeds=tuple(range(args.seeds)),
+        family_alpha=args.alpha,
+        progress=_progress(args.quiet),
+    )
+    print(report.render())
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.json}")
+    return 0 if report.passed else 1
+
+
 def _cmd_audit(args) -> int:
     from repro.analysis.turn_slack import render_turn_slack_table
     from repro.experiments.auditing import DEFAULT_AUDIT_ZOO, run_topology_audits
@@ -855,6 +924,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_live_faults(args)
     if args.command == "certify":
         return _cmd_certify(args)
+    if args.command == "equivalence":
+        return _cmd_equivalence(args)
     if args.command == "audit":
         return _cmd_audit(args)
     if args.command == "cache":

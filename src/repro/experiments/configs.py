@@ -46,10 +46,15 @@ class ExperimentPreset:
     rates: Tuple[float, ...]
     rate_scale_8port: float
     seed: int
-    #: step-engine override for every run in the campaign
-    #: ("reference" / "fast" / "vectorized"); ``None`` defers to the
-    #: config default (``REPRO_ENGINE`` env, else the fast path).
-    #: Results are bit-identical either way — this only trades speed.
+    #: step-engine override for every run in the campaign; ``None``
+    #: defers to the config default (``REPRO_ENGINE`` env, else the
+    #: fast path).  Bit-exact engines ("reference" / "fast" /
+    #: "vectorized") give bit-identical results — choosing among them
+    #: only trades speed.  The relaxed engine ("batch") is
+    #: deterministic per seed but certified only distributionally
+    #: (``repro.simulator.equivalence``): its units get engine-variant
+    #: ledger digests and results tagged ``equivalence: statistical``,
+    #: and it must be pinned here, not via ``REPRO_ENGINE``.
     engine: Optional[str] = None
 
     def sim_config(self, seed: int) -> SimulationConfig:

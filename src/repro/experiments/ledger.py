@@ -52,6 +52,7 @@ import socket
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.simulator.config import RELAXED_ENGINES
 from repro.util.fsio import atomic_write_text
 from repro.util.wallclock import utc_stamp
 
@@ -127,15 +128,20 @@ def unit_digest(unit) -> str:
     the seed* — so two units collide only when they would simulate the
     exact same thing.  Used as the ledger key for skip-on-resume.
 
-    The preset's ``engine`` override is deliberately *excluded*: every
-    step engine produces bit-identical results (enforced by
-    ``tests/test_engine_equivalence.py``), so a ledger written with one
-    engine must resume cleanly under another, and distributed workers
-    of one campaign may mix engines.
+    A *bit-exact* preset ``engine`` override is deliberately
+    *excluded*: those engines produce bit-identical results (enforced
+    by ``tests/test_engine_equivalence.py``), so a ledger written with
+    one may resume cleanly under another, and distributed workers of
+    one campaign may mix them.  A *relaxed* engine
+    (:data:`repro.simulator.config.RELAXED_ENGINES`, e.g. ``"batch"``)
+    stays **in** the digest: its results satisfy only a statistical
+    contract, so a batch result must never be mistaken for — or resume
+    — a bit-exact unit, and vice versa.
     """
     payload = dataclasses.asdict(unit)
-    if isinstance(payload.get("preset"), dict):
-        payload["preset"].pop("engine", None)
+    preset = payload.get("preset")
+    if isinstance(preset, dict) and preset.get("engine") not in RELAXED_ENGINES:
+        preset.pop("engine", None)
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
 

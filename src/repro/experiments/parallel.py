@@ -68,6 +68,7 @@ from repro.experiments.harness import (
     make_topology,
 )
 from repro.experiments.ledger import ResultLedger, unit_digest
+from repro.simulator.config import RELAXED_ENGINES
 from repro.simulator.engine import simulate
 from repro.util.rng import derive_seed
 from repro.util.wallclock import Clock, resolve_clock
@@ -180,6 +181,14 @@ def run_unit(unit: WorkUnit) -> Dict[str, object]:
     key, the headline numbers, and the per-channel utilization needed
     for the table metrics.  The dict never mentions the cache: results
     are bit-identical with it on or off.
+
+    Relaxed engines (``"batch"``) are legal but must be pinned in the
+    *preset*: a ``REPRO_ENGINE`` environment override is rejected here,
+    because unit digests only cover preset fields — an env-selected
+    relaxed engine would write statistical-contract results under a
+    bit-exact ledger identity.  Relaxed results are tagged with their
+    ``statistical_fingerprint`` and equivalence tier so downstream
+    artefacts stay honest about how they were produced.
     """
     cache = process_cache()
     topology = make_topology(unit.preset, unit.ports, unit.sample, cache=cache)
@@ -197,15 +206,26 @@ def run_unit(unit: WorkUnit) -> Dict[str, object]:
         cache.flush_counters()
     seed = derive_seed(unit.preset.seed, unit.seed_salt, unit.ports, unit.sample)
     cfg = unit.preset.sim_config(seed).with_rate(unit.rate)
+    engine = cfg.resolved_engine
+    if engine in RELAXED_ENGINES and unit.preset.engine != engine:
+        raise RuntimeError(
+            f"relaxed engine {engine!r} selected via REPRO_ENGINE; pin it "
+            "in the preset (--engine) so the ledger identity records the "
+            "statistical contract"
+        )
     stats = simulate(routing, cfg)
     from repro.metrics.utilization import utilization_report
 
-    return {
+    result = {
         "key": unit.key(),
         "accepted": stats.accepted_traffic,
         "latency": stats.average_latency,
         "report": utilization_report(stats.channel_utilization(), tree),
     }
+    if engine in RELAXED_ENGINES:
+        result["equivalence"] = "statistical"
+        result["fingerprint"] = stats.statistical_fingerprint()
+    return result
 
 
 def _arm_watchdog(unit_timeout: Optional[float]) -> Optional[Callable[[], None]]:

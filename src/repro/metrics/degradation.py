@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.simulator.stats import SimulationStats
+from repro.simulator.stats import SimulationStats, discrete_percentile
 
 
 def delivered_fraction(stats: SimulationStats) -> float:
@@ -115,4 +115,9 @@ def degradation_report(stats: SimulationStats) -> dict:
         "mean_reconfiguration_latency": (
             sum(lat) / len(lat) if lat else float("nan")
         ),
+        # the same discrete quantile stats.p99_latency reports — both go
+        # through discrete_percentile, so a fault report and a summary
+        # row can never disagree on the interpolation method
+        "p99_latency": discrete_percentile(stats.latencies, 99),
+        "p99_reconfiguration_latency": discrete_percentile(lat, 99),
     }

@@ -35,12 +35,24 @@ turning routing-level deadlock bugs into loud test failures (and is
 itself tested by routing flows around a deliberately open turn cycle).
 """
 
-from repro.simulator.config import ENGINES, SimulationConfig
+from repro.simulator.batch_engine import BatchCore
+from repro.simulator.config import (
+    BIT_EXACT_ENGINES,
+    ENGINES,
+    RELAXED_ENGINES,
+    SimulationConfig,
+)
 from repro.simulator.engine import (
     DeadlockDetected,
     LivelockSuspected,
     WormholeSimulator,
     simulate,
+)
+from repro.simulator.equivalence import (
+    QUICK_MATRIX,
+    EquivalenceReport,
+    EquivalenceScenario,
+    certify,
 )
 from repro.simulator.stats import SimulationStats
 from repro.simulator.trace import PacketTrace, TraceRecorder
@@ -63,9 +75,16 @@ from repro.simulator.traffic import (
 __all__ = [
     "SimulationConfig",
     "ENGINES",
+    "BIT_EXACT_ENGINES",
+    "RELAXED_ENGINES",
     "WormholeSimulator",
     "VectorizedCore",
+    "BatchCore",
     "ArrayState",
+    "EquivalenceScenario",
+    "EquivalenceReport",
+    "QUICK_MATRIX",
+    "certify",
     "DeadlockDetected",
     "LivelockSuspected",
     "simulate",

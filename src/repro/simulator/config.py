@@ -13,8 +13,15 @@ import os
 from dataclasses import dataclass, replace
 from typing import Optional
 
+#: engines whose results are byte-identical for a fixed seed (same
+#: ``canonical_digest``), enforced by the differential golden suite
+BIT_EXACT_ENGINES = ("reference", "fast", "vectorized")
+#: engines under the *relaxed* statistical contract: deterministic per
+#: seed, but certified distributionally (``statistical_fingerprint`` +
+#: the equivalence gate) instead of per-draw digest equality
+RELAXED_ENGINES = ("batch",)
 #: step implementations selectable via :attr:`SimulationConfig.engine`
-ENGINES = ("reference", "fast", "vectorized")
+ENGINES = BIT_EXACT_ENGINES + RELAXED_ENGINES
 
 
 @dataclass(frozen=True)
@@ -84,14 +91,21 @@ class SimulationConfig:
     engine:
         Explicit step-implementation selector, superseding *fast_path*
         when set: ``"reference"`` (the seed golden model), ``"fast"``
-        (active-set scheduler) or ``"vectorized"`` (struct-of-arrays
-        numpy core, :mod:`repro.simulator.vec_engine`).  All three are
+        (active-set scheduler), ``"vectorized"`` (struct-of-arrays
+        numpy core, :mod:`repro.simulator.vec_engine`) or ``"batch"``
+        (fully batched relaxed-equivalence core,
+        :mod:`repro.simulator.batch_engine`).  The first three are
         **bit-identical** for a fixed seed (same ``canonical_digest``),
-        enforced by the differential golden suite.  ``None`` (default)
-        falls back to the ``REPRO_ENGINE`` environment variable if set,
-        else to *fast_path*.  The VC engine has no vectorized body
-        phase (its body commits are RNG-ordered under shared link
-        budgets); ``"vectorized"`` there selects the fast path.
+        enforced by the differential golden suite; ``"batch"`` is
+        deterministic per seed but satisfies a *statistical* contract —
+        its aggregate distributions are certified against the bit-exact
+        oracles by :mod:`repro.simulator.equivalence`, and its results
+        carry a ``statistical_fingerprint`` instead of a canonical
+        digest.  ``None`` (default) falls back to the ``REPRO_ENGINE``
+        environment variable if set, else to *fast_path*.  The VC
+        engine has no vectorized body phase (its body commits are
+        RNG-ordered under shared link budgets); ``"vectorized"`` and
+        ``"batch"`` there select the fast path.
     """
 
     packet_length: int = 128

@@ -160,6 +160,11 @@ class WormholeSimulator:
 
             self._vec = VectorizedCore(self)
             self._move_impl = self._vec.move
+        elif self.engine_name == "batch":
+            from repro.simulator.batch_engine import BatchCore
+
+            self._vec = BatchCore(self)
+            self._move_impl = self._vec.move
         elif self.engine_name == "fast":
             self._move_impl = self._move_fast
         else:

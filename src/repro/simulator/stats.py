@@ -18,6 +18,26 @@ import numpy as np
 
 from repro.topology.graph import Topology
 
+#: Quantile method for every latency percentile this repo reports.
+#: Latencies are integer clock counts, so the classical discrete
+#: quantile (Hyndman-Fan type 1) is pinned explicitly: the default
+#: linear interpolation invents fractional "latencies" no packet ever
+#: achieved, and different callers silently disagreed on the method.
+PERCENTILE_METHOD = "inverted_cdf"
+
+
+def discrete_percentile(samples, q: float) -> float:
+    """The *q*-th percentile of *samples* as an achievable sample value.
+
+    ``nan`` sentinel for an empty sample, mirroring the latency means.
+    Every percentile consumer (stats summaries, degradation metrics)
+    must go through this helper so they agree on the method.
+    """
+    arr = np.asarray(samples)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q, method=PERCENTILE_METHOD))
+
 
 class StatsCollector:
     """Mutable accumulator the engine writes into.
@@ -133,17 +153,27 @@ class StatsCollector:
             self.sched_active_worms += active_worms
             self.sched_clocks += 1
 
+    def timeline_due(self) -> bool:
+        """True when :meth:`on_tick` will record a snapshot right now.
+
+        Exposed so engines that defer counter batches (the array cores)
+        can flush exactly when a tick is about to *read* the counters —
+        sharing this predicate keeps the flush boundary and the read
+        boundary from ever drifting apart.
+        """
+        return bool(
+            self.timeline_interval
+            and self.active
+            and self.window_clocks % self.timeline_interval == 0
+        )
+
     def on_tick(self) -> None:
         """Record a timeline snapshot if the cadence is due.
 
         Called once per *measured* clock (after ``window_clocks`` was
         incremented); cheap no-op when ``timeline_interval`` is 0.
         """
-        if (
-            self.timeline_interval
-            and self.active
-            and self.window_clocks % self.timeline_interval == 0
-        ):
+        if self.timeline_due():
             self._timeline.append(
                 (self.window_clocks, int(sum(self.consumed_flits)))
             )
@@ -151,15 +181,23 @@ class StatsCollector:
     def finalize(
         self, queue_backlog: int, reconfigurations: Tuple = ()
     ) -> "SimulationStats":
-        """Freeze the window counters into a :class:`SimulationStats`."""
+        """Freeze the window counters into a :class:`SimulationStats`.
+
+        The counter arrays are *copied*, never aliased: the array
+        engines rebind ``channel_flits``/``consumed_flits``/
+        ``injected_flits`` to live int64 ndarrays, and ``np.asarray``
+        on those is a no-copy view — a frozen snapshot would then keep
+        mutating (and change its ``canonical_digest``) as later clocks
+        flush their deferred counter batches into the same storage.
+        """
         if self.window_clocks <= 0:
             raise ValueError("no measurement window was recorded")
         return SimulationStats(
             topology=self.topology,
             clocks=self.window_clocks,
-            channel_flits=np.asarray(self.channel_flits, dtype=np.int64),
-            consumed_flits=np.asarray(self.consumed_flits, dtype=np.int64),
-            injected_flits=np.asarray(self.injected_flits, dtype=np.int64),
+            channel_flits=np.array(self.channel_flits, dtype=np.int64),
+            consumed_flits=np.array(self.consumed_flits, dtype=np.int64),
+            injected_flits=np.array(self.injected_flits, dtype=np.int64),
             generated_packets=self.generated_packets,
             dropped_packets=self.dropped_packets,
             delivered_packets=self.delivered_packets,
@@ -256,10 +294,14 @@ class SimulationStats:
 
     @property
     def p99_latency(self) -> float:
-        """99th-percentile message latency (``nan`` when none delivered)."""
+        """99th-percentile message latency (``nan`` when none delivered).
+
+        A discrete quantile (:data:`PERCENTILE_METHOD`): always one of
+        the achieved integer latencies, never an interpolated fraction.
+        """
         if self.delivered_packets <= 0 or not self.latencies:
             return float("nan")
-        return float(np.percentile(self.latencies, 99))
+        return discrete_percentile(self.latencies, 99)
 
     @property
     def average_hops(self) -> float:
@@ -342,6 +384,42 @@ class SimulationStats:
         )
         h.update(repr(payload).encode())
         return h.hexdigest()
+
+    def statistical_fingerprint(self) -> str:
+        """Digest of the *distributional* result, for relaxed engines.
+
+        Batch-mode results satisfy a statistical contract — fixed
+        aggregate distributions, not per-draw RNG order — so their
+        identity is the order-invariant aggregate payload: totals plus
+        the *sorted* latency/header-latency/hop multisets.  Two batch
+        runs with the same seed produce the same fingerprint (the
+        engine is deterministic), but a fingerprint deliberately cannot
+        be compared against a :meth:`canonical_digest` — the ``stat1-``
+        prefix keeps ledgers and campaign artefacts honest about which
+        equivalence tier a result was produced under.
+        """
+        h = hashlib.sha256()
+        h.update(b"repro-statistical-contract-v1\x00")
+        payload = (
+            self.clocks,
+            self.generated_packets,
+            self.dropped_packets,
+            self.delivered_packets,
+            int(self.channel_flits.sum()),
+            int(self.consumed_flits.sum()),
+            int(self.injected_flits.sum()),
+            tuple(sorted(self.latencies)),
+            tuple(sorted(self.header_latencies)),
+            tuple(sorted(self.hop_counts)),
+            self.queue_backlog,
+            self.fault_drops,
+            self.retries,
+            self.lost_packets,
+            self.corrupted_deliveries,
+            len(self.reconfigurations),
+        )
+        h.update(repr(payload).encode())
+        return "stat1-" + h.hexdigest()
 
     # -- channel-level views (consumed by repro.metrics) ----------------
     def channel_utilization(self) -> np.ndarray:

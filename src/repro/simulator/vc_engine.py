@@ -144,14 +144,17 @@ class VirtualChannelSimulator:
         self._req_dirty_until = -1
         #: engine selection: the VC engine has no vectorized body phase
         #: (its body commits are RNG-ordered under shared per-link
-        #: budgets, inherently sequential), so ``"vectorized"`` selects
-        #: the fast path here — documented in the config and docs
+        #: budgets, inherently sequential), so ``"vectorized"`` and
+        #: ``"batch"`` select the fast path here — documented in the
+        #: config and docs
         engine = (
             config.resolved_engine
             if hasattr(config, "resolved_engine")
             else ("fast" if getattr(config, "fast_path", True) else "reference")
         )
-        self.engine_name = "fast" if engine == "vectorized" else engine
+        self.engine_name = (
+            "fast" if engine in ("vectorized", "batch") else engine
+        )
         self._move_impl = (
             self._move if self.engine_name == "reference" else self._move_fast
         )

@@ -106,11 +106,11 @@ class VectorizedCore:
             return orig_finalize(*args, **kwargs)
 
         def tick_flushed():
-            if (
-                st.timeline_interval
-                and st.active
-                and st.window_clocks % st.timeline_interval == 0
-            ):
+            # flush exactly when the tick is about to read the counters
+            # — the predicate is shared with on_tick itself, so the
+            # flush boundary cannot drift from the read boundary even
+            # when it lands on a 512-batch or fault-sync clock
+            if st.timeline_due():
                 self._flush_stats()
             orig_tick()
 
@@ -159,15 +159,21 @@ class VectorizedCore:
         ``(tgts, movers)`` pair and this flush replays every pending
         clock with ``np.add.at`` (targets repeat *across* clocks, so
         unbuffered fancy ``+=`` would drop counts here).
+
+        Idempotent by construction: the pending list is detached in one
+        step before anything is applied, so a nested flush (a timeline
+        tick, fault sync and 512-batch boundary landing on the same
+        clock each call this) applies every batch exactly once — the
+        second caller sees an empty list and returns.
         """
         pend = self._pend_stats
         if not pend:
             return
+        self._pend_stats = []
         st = self.state
         stats = self.sim.stats
         allt = np.concatenate([t for t, _ in pend])
         allm = np.concatenate([m for _, m in pend])
-        pend.clear()
         np.add.at(stats.channel_flits, allt[allt < st.C], 1)
         sunk = allt[allt >= st.SINK0]
         np.add.at(stats.consumed_flits, sunk - st.SINK0, 1)

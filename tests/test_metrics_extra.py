@@ -173,3 +173,68 @@ class TestZeroDeliveredSentinels:
         reread = ResultLedger(path).completed["d1"]
         assert math.isnan(reread["latency"])
         assert reread["accepted"] == 0.0
+
+
+class TestDiscretePercentile:
+    """Regression: p99 used linear interpolation on integer latencies.
+
+    ``np.percentile``'s default invents fractional "latencies" no
+    packet ever achieved (e.g. 970.9 from the sample {10,20,30,1000});
+    the pinned discrete method must always return an achieved value.
+    These fail on the pre-fix code.
+    """
+
+    def _stats_with_latencies(self, small_irregular, latencies):
+        from repro.simulator.stats import StatsCollector
+
+        c = StatsCollector(small_irregular)
+        c.active = True
+        c.window_clocks = 100
+        for lat in latencies:
+            c.on_delivered(latency=lat, header_latency=lat, hops=3)
+        return c.finalize(queue_backlog=0)
+
+    def test_small_n_p99_is_achievable(self, small_irregular):
+        samples = [10, 20, 30, 1000]
+        stats = self._stats_with_latencies(small_irregular, samples)
+        assert stats.p99_latency in samples  # pre-fix: 970.9
+        assert stats.p99_latency == 1000
+
+    def test_p99_always_a_sample_value(self, small_irregular):
+        rng = np.random.default_rng(7)
+        samples = [int(x) for x in rng.integers(20, 500, size=83)]
+        stats = self._stats_with_latencies(small_irregular, samples)
+        assert stats.p99_latency in samples
+        assert float(stats.p99_latency).is_integer()
+
+    def test_nan_sentinel_zero_delivered(self, small_irregular):
+        import math
+
+        stats = self._stats_with_latencies(small_irregular, [])
+        assert math.isnan(stats.p99_latency)
+
+    def test_degradation_report_agrees_with_stats(self, small_irregular):
+        from repro.metrics.degradation import degradation_report
+
+        samples = [10, 20, 30, 1000]
+        stats = self._stats_with_latencies(small_irregular, samples)
+        report = degradation_report(stats)
+        assert report["p99_latency"] == stats.p99_latency
+
+    def test_degradation_nan_sentinels(self, small_irregular):
+        import math
+
+        from repro.metrics.degradation import degradation_report
+
+        report = degradation_report(
+            self._stats_with_latencies(small_irregular, [])
+        )
+        assert math.isnan(report["p99_latency"])
+        assert math.isnan(report["p99_reconfiguration_latency"])
+
+    def test_helper_is_pinned_discrete(self):
+        from repro.simulator.stats import PERCENTILE_METHOD, discrete_percentile
+
+        assert PERCENTILE_METHOD == "inverted_cdf"
+        assert discrete_percentile([1, 2, 3, 100], 99) == 100
+        assert np.isnan(discrete_percentile([], 99))

@@ -226,3 +226,106 @@ class TestEngineSelection:
     def test_config_rejects_unknown_engine(self):
         with pytest.raises(ValueError, match="unknown engine"):
             _cfg(engine="warp-drive")
+
+
+class TestDeferredFlushBoundaries:
+    """White-box audit of the deferred-stats flush (regression suite).
+
+    The vectorized core batches body-phase counter updates and flushes
+    them at four boundaries: the 512-batch cap, a timeline tick, a
+    fault-sync epoch, and finalize.  No counter reader may ever observe
+    a partially-applied batch — and a *finalized* snapshot must be
+    frozen for good.
+    """
+
+    def test_finalized_snapshot_is_frozen(self, net):
+        """Regression: ``finalize`` used to alias the live counters.
+
+        ``np.asarray`` on the core's int64 counter arrays is a no-copy
+        view, so a finalized SimulationStats kept mutating — digest
+        included — as later clocks flushed more batches into the same
+        storage.  Fails on the pre-fix code.
+        """
+        _topo, routing = net
+        cfg = _cfg(
+            injection_rate=0.2, warmup_clocks=50, measure_clocks=600,
+            engine="vectorized",
+        )
+        sim = WormholeSimulator(routing, cfg)
+        stats = sim.run()
+        digest = stats.canonical_digest()
+        consumed = int(stats.consumed_flits.sum())
+        for _ in range(700):  # keep stepping: more batches flush
+            sim.step()
+        assert int(stats.consumed_flits.sum()) == consumed
+        assert stats.canonical_digest() == digest
+
+    def test_flush_is_idempotent(self, net):
+        """A nested flush (coincident boundaries) applies batches once."""
+        _topo, routing = net
+        cfg = _cfg(
+            injection_rate=0.2, warmup_clocks=50, measure_clocks=200,
+            engine="vectorized",
+        )
+        sim = WormholeSimulator(routing, cfg)
+        sim.stats.active = True  # stepping manually: open the window
+        for _ in range(180):
+            sim.step()
+        core = sim._vec
+        assert core._pend_stats, "scenario must have pending batches"
+        core._flush_stats()
+        snap = [int(x) for x in sim.stats.channel_flits]
+        core._flush_stats()  # second flush: must be a no-op
+        core._flush_stats()
+        assert [int(x) for x in sim.stats.channel_flits] == snap
+
+    def test_every_reader_sees_flushed_counters(self, net):
+        """tick / sync / finalize on one clock all see the same totals.
+
+        Forces the coincidence the issue names: a timeline tick due on
+        the same clock as a fault-sync (stall report) while batches are
+        pending — the tick's recorded cumulative consumed count must
+        equal the reference engine's, clock for clock.
+        """
+        _topo, routing = net
+        results = {}
+        for engine in ("fast", "vectorized"):
+            cfg = _cfg(
+                injection_rate=0.25, warmup_clocks=64, measure_clocks=1024,
+                engine=engine, packet_length=8,
+            )
+            sim = WormholeSimulator(routing, cfg)
+            sim.stats.timeline_interval = 128
+            stats = sim.run()
+            results[engine] = stats
+        assert results["fast"].timeline == results["vectorized"].timeline
+        assert (
+            results["fast"].canonical_digest()
+            == results["vectorized"].canonical_digest()
+        )
+
+    def test_mid_window_sync_preserves_totals(self, net):
+        """A sync mid-run (reader boundary) must not lose or double counts."""
+        _topo, routing = net
+        cfg = _cfg(
+            injection_rate=0.25, warmup_clocks=64, measure_clocks=800,
+            engine="vectorized", packet_length=8,
+        )
+        sim = WormholeSimulator(routing, cfg)
+        sim_ref = WormholeSimulator(routing, cfg.with_engine("fast"))
+        sim.stats.active = True  # stepping manually: open the window
+        sim_ref.stats.active = True
+        for _ in range(500):
+            sim.step()
+            sim_ref.step()
+            if sim.clock % 97 == 0:
+                sim._vec.sync()  # reader: flush + write-back
+        for _ in range(250):
+            sim.step()
+            sim_ref.step()
+        a = [int(x) for x in sim.stats.channel_flits]
+        sim._vec._flush_stats()
+        b = [int(x) for x in sim.stats.channel_flits]
+        # interleaved reads never double-applied anything
+        assert sum(b) >= sum(a)
+        assert b == [int(x) for x in sim_ref.stats.channel_flits]
