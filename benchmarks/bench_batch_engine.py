@@ -35,6 +35,10 @@ and tables).  That one-time cost is paid by an untimed priming run per
 routing and reported separately (``prime_seconds``), so the timed
 pairs measure the steady state a campaign actually runs in, and the
 setup cost is documented rather than smeared into one arbitrary pair.
+Both modes (quick CI smoke included) also assert the priming stays
+*sub-linear in scenario count*: the row cache may grow only marginally
+while the matrix runs, proving its cost is O(destinations) and paid
+once, not O(scenarios).
 
 Timing methodology: CPU time (``time.process_time``) over paired
 adjacent fast/batch runs, interleaved so both see the same machine
@@ -157,6 +161,7 @@ def run_benchmarks(quick: bool = False) -> dict:
     topo = random_irregular_topology(256, 6, rng=11)
     routing = build_down_up_routing(topo)
     results["prime_seconds_256sw"] = _prime_rows(routing, clocks)
+    rows_after_prime = len(getattr(routing, "_batch_rows", {}))
     medians = []
     print(f"256sw/6p matrix, {clocks} measured clocks, {pairs} paired runs "
           "per cell (batch vs fast), rows primed in "
@@ -170,6 +175,29 @@ def run_benchmarks(quick: bool = False) -> dict:
     results["speedup_median_256sw"] = round(statistics.median(medians), 3)
     print(f"  256sw acceptance median: {results['speedup_median_256sw']}x",
           flush=True)
+
+    # priming sub-linearity gate: candidate rows are encoded once per
+    # *destination* and cached on the routing object, so the single
+    # untimed priming run must already cover (nearly) every row the
+    # whole matrix needs — priming cost is O(destinations), not
+    # O(scenarios).  If row encoding regressed to per-scenario work,
+    # the cache would grow by roughly its primed size for every cell;
+    # allow the full matrix at most one matrix-th of that.
+    rows_after_matrix = len(getattr(routing, "_batch_rows", {}))
+    extra = rows_after_matrix - rows_after_prime
+    results["row_cache"] = {
+        "rows_after_prime": rows_after_prime,
+        "rows_after_matrix": rows_after_matrix,
+        "scenarios": len(MATRIX),
+    }
+    if extra * len(MATRIX) > rows_after_prime:
+        raise AssertionError(
+            "row-cache priming is no longer sub-linear in scenario "
+            f"count: {rows_after_prime} rows after priming grew by "
+            f"{extra} over {len(MATRIX)} scenarios"
+        )
+    print(f"  row cache: {rows_after_prime} rows primed, +{extra} across "
+          f"{len(MATRIX)} scenarios (sub-linear gate ok)", flush=True)
 
     if not quick:
         # end-to-end scale point, same load profile and pairing

@@ -90,6 +90,13 @@ def _parser() -> argparse.ArgumentParser:
             "— while 'batch' is certified statistically (see the "
             "equivalence subcommand) and changes result identities",
         )
+        sp.add_argument(
+            "--replicas", type=int, default=None, metavar="R",
+            help="seed-replicas per (sample, algorithm, method, rate) "
+            "cell; with --engine batch, sibling replicas run as one "
+            "fused array sweep (repro.simulator.replica_batch) with "
+            "per-replica results identical to sequential runs",
+        )
 
     def caching(sp, default_on=False):
         sp.add_argument(
@@ -423,6 +430,8 @@ def _scale_preset(args):
         preset = preset.scaled(samples=args.samples)
     if getattr(args, "engine", None):
         preset = preset.scaled(engine=args.engine)
+    if getattr(args, "replicas", None):
+        preset = preset.scaled(replicas=args.replicas)
     return preset
 
 

@@ -56,6 +56,16 @@ class ExperimentPreset:
     #: ledger digests and results tagged ``equivalence: statistical``,
     #: and it must be pinned here, not via ``REPRO_ENGINE``.
     engine: Optional[str] = None
+    #: seed-replicas per work unit.  1 (default) keeps the classic one
+    #: -run-per-unit shape.  R > 1 expands every (sample, algorithm,
+    #: method, rate) cell into R units whose seeds follow the
+    #: replica-derivation scheme of
+    #: :func:`repro.simulator.replica_batch.replica_seeds`; with a
+    #: relaxed ``engine`` the runner folds sibling replicas into one
+    #: fused :func:`~repro.simulator.replica_batch.run_replicated`
+    #: sweep — per-seed results and ledger records are unchanged
+    #: (packing invariance), only the wall clock drops.
+    replicas: int = 1
 
     def sim_config(self, seed: int) -> SimulationConfig:
         """Base simulator config (rate is set per sweep point)."""

@@ -178,7 +178,10 @@ def run_figure8(
             cache_path=artifact_cache,
             failures=result.failures,
         )
-    elif workers > 1 or ledger_path is not None:
+    elif workers > 1 or ledger_path is not None or preset.replicas > 1:
+        # replicated presets must expand into per-replica work units even
+        # on the serial path — the inline sweep below knows nothing about
+        # replicas and would silently run each cell once
         from repro.experiments.ledger import ResultLedger
         from repro.experiments.parallel import figure8_units, run_parallel
 
@@ -207,7 +210,9 @@ def run_figure8(
 
     if records is not None:
         for res in records:
-            alg, method, _ports, sample, rate = res["key"]
+            # replicated presets append a replica index to the unit key;
+            # each replica aggregates as one more independent observation
+            alg, method, _ports, sample, rate = res["key"][:5]
             accepted, latency = res["accepted"], res["latency"]
             result.raw.append((alg, method, sample, rate, accepted, latency))
             acc.setdefault((alg, method, rate), []).append(accepted)

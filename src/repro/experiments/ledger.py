@@ -142,6 +142,14 @@ def unit_digest(unit) -> str:
     preset = payload.get("preset")
     if isinstance(preset, dict) and preset.get("engine") not in RELAXED_ENGINES:
         preset.pop("engine", None)
+    # replication fields at their defaults are stripped so every ledger
+    # written before replicas existed keeps its unit identities: a
+    # replica-0 unit of an unreplicated preset is byte-for-byte the
+    # classic unit and must resume classic records
+    if payload.get("replica") == 0:
+        payload.pop("replica", None)
+    if isinstance(preset, dict) and preset.get("replicas") == 1:
+        preset.pop("replicas", None)
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
 

@@ -30,7 +30,17 @@ Execution is fault-tolerant infrastructure, not a bare ``pool.map``:
   stream to disk (fsync'd) the moment they complete, and units whose
   digest is already in the ledger are skipped on resume — an
   interrupted campaign continues where it stopped and merges to
-  byte-identical final outputs.
+  byte-identical final outputs;
+* sibling seed-replicas of a replicated relaxed-engine preset
+  (``preset.replicas > 1`` with ``engine`` in
+  :data:`~repro.simulator.config.RELAXED_ENGINES`) are *folded*: the
+  scheduler groups them into one task executed as a single fused
+  :func:`repro.simulator.replica_batch.run_replicated` sweep.  The
+  replica core's packing-invariance contract guarantees each member's
+  result is identical to its own sequential run, so ledger records,
+  resume, retries and aggregation are unchanged — folding only cuts
+  the per-clock dispatch wall R ways.
+
 
 Progress lines share one format across the serial and pooled paths —
 ``[done/total] <key> ok attempt=N`` — so retry activity is visible, and
@@ -70,6 +80,7 @@ from repro.experiments.harness import (
 from repro.experiments.ledger import ResultLedger, unit_digest
 from repro.simulator.config import RELAXED_ENGINES
 from repro.simulator.engine import simulate
+from repro.simulator.replica_batch import replica_seed, run_replicated
 from repro.util.rng import derive_seed
 from repro.util.wallclock import Clock, resolve_clock
 
@@ -108,9 +119,16 @@ class WorkUnit:
     #: seed-derivation salt; matches the serial harness constants
     #: (0xF18 for Figure-8 sweeps, 0x7AB for the saturated table runs)
     seed_salt: int = 0xF18
+    #: seed-replica index (``preset.replicas > 1`` expands each cell);
+    #: replica 0 is the classic unit — same seed, same key, same ledger
+    #: identity as before replication existed
+    replica: int = 0
 
-    def key(self) -> Tuple[str, str, int, int, float]:
-        return (self.algorithm, self.method, self.ports, self.sample, self.rate)
+    def key(self) -> Tuple:
+        base = (self.algorithm, self.method, self.ports, self.sample, self.rate)
+        # replica 0 keeps the legacy 5-tuple so existing ledgers,
+        # progress lines and aggregators are untouched
+        return base + (self.replica,) if self.replica else base
 
 
 @dataclass(frozen=True)
@@ -123,7 +141,7 @@ class UnitFailure:
     partially-failed campaign can never masquerade as a complete one.
     """
 
-    key: Tuple[str, str, int, int, float]
+    key: Tuple
     attempts: int
     error: str
 
@@ -144,11 +162,12 @@ def figure8_units(
 ) -> List[WorkUnit]:
     """The Figure-8 work list for one port configuration."""
     return [
-        WorkUnit(preset, ports, sample, alg, method, rate)
+        WorkUnit(preset, ports, sample, alg, method, rate, replica=rep)
         for sample in range(preset.samples)
         for method in methods
         for alg in algorithms
         for rate in preset.rates_for(ports)
+        for rep in range(max(1, preset.replicas))
     ]
 
 
@@ -162,11 +181,15 @@ def tables_units(
     """The Tables-1-4 work list (one saturated run per combination)."""
     ports_list = tuple(ports_list if ports_list is not None else preset.ports)
     return [
-        WorkUnit(preset, ports, sample, alg, method, saturation_rate, 0x7AB)
+        WorkUnit(
+            preset, ports, sample, alg, method, saturation_rate, 0x7AB,
+            replica=rep,
+        )
         for ports in ports_list
         for sample in range(preset.samples)
         for method in methods
         for alg in algorithms
+        for rep in range(max(1, preset.replicas))
     ]
 
 
@@ -205,6 +228,9 @@ def run_unit(unit: WorkUnit) -> Dict[str, object]:
         # durable per-unit flush: hit/miss tallies survive SIGKILL
         cache.flush_counters()
     seed = derive_seed(unit.preset.seed, unit.seed_salt, unit.ports, unit.sample)
+    # replica 0 keeps the classic seed; higher replicas branch off it
+    # through the counter-hash scheme shared with the fused sweep
+    seed = replica_seed(seed, unit.replica)
     cfg = unit.preset.sim_config(seed).with_rate(unit.rate)
     engine = cfg.resolved_engine
     if engine in RELAXED_ENGINES and unit.preset.engine != engine:
@@ -226,6 +252,66 @@ def run_unit(unit: WorkUnit) -> Dict[str, object]:
         result["equivalence"] = "statistical"
         result["fingerprint"] = stats.statistical_fingerprint()
     return result
+
+
+def run_unit_group(group: Sequence[WorkUnit]) -> List[Dict[str, object]]:
+    """Execute sibling seed-replicas as one fused replicated sweep.
+
+    *group* holds units that differ only in ``replica`` — same preset,
+    ports, sample, algorithm, method, rate and seed salt — and whose
+    preset pins a relaxed engine.  Construction (topology, tree,
+    routing) happens once; the simulations run stacked through
+    :func:`repro.simulator.replica_batch.run_replicated`, whose
+    determinism contract (per-replica results identical to sequential
+    runs, independent of which siblings share the stack) is what makes
+    this a pure scheduling optimisation: every returned dict is
+    byte-identical to what :func:`run_unit` would produce for that
+    member, so ledger records, resume and aggregation never notice the
+    fold.  Partial groups — a resumed ledger already holding some
+    siblings — are therefore just as foldable as full ones.
+    """
+    if len(group) == 1:
+        return [run_unit(group[0])]
+    first = group[0]
+    cache = process_cache()
+    topology = make_topology(first.preset, first.ports, first.sample, cache=cache)
+    routings = build_routings(
+        topology,
+        first.preset,
+        first.sample,
+        methods=(first.method,),
+        algorithms=(first.algorithm,),
+        cache=cache,
+    )
+    routing, tree = routings[(first.algorithm, first.method)]
+    if cache is not None:
+        cache.flush_counters()
+    base = derive_seed(
+        first.preset.seed, first.seed_salt, first.ports, first.sample
+    )
+    cfg = first.preset.sim_config(base).with_rate(first.rate)
+    engine = cfg.resolved_engine
+    if engine not in RELAXED_ENGINES or first.preset.engine != engine:
+        # bit-exact engines gain nothing from stacking (and the fused
+        # driver is batch-only); env-override mismatches get run_unit's
+        # pinning diagnostics
+        return [run_unit(u) for u in group]
+    seeds = [replica_seed(base, u.replica) for u in group]
+    from repro.metrics.utilization import utilization_report
+
+    out: List[Dict[str, object]] = []
+    for unit, stats in zip(group, run_replicated(routing, cfg, seeds=seeds)):
+        out.append(
+            {
+                "key": unit.key(),
+                "accepted": stats.accepted_traffic,
+                "latency": stats.average_latency,
+                "report": utilization_report(stats.channel_utilization(), tree),
+                "equivalence": "statistical",
+                "fingerprint": stats.statistical_fingerprint(),
+            }
+        )
+    return out
 
 
 def _arm_watchdog(unit_timeout: Optional[float]) -> Optional[Callable[[], None]]:
@@ -294,6 +380,57 @@ def execute_unit(
     finally:
         if disarm is not None:
             disarm()
+
+
+def execute_unit_group(
+    group: Sequence[WorkUnit],
+    attempt: int = 1,
+    unit_timeout: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Pool/serial entry point for a folded replica group.
+
+    Mirrors :func:`execute_unit` — SIGALRM watchdog plus the test-only
+    fault hook — around :func:`run_unit_group`.  The wall-time budget
+    scales with the group size: the fused sweep does the work of
+    ``len(group)`` units, so each member still gets *unit_timeout*
+    seconds of budget on average.
+    """
+    budget = None if unit_timeout is None else unit_timeout * len(group)
+    disarm = _arm_watchdog(budget)
+    try:
+        spec = os.environ.get(TEST_FAULT_ENV)
+        if spec:
+            alg, mode, max_attempt = spec.rsplit(":", 2)
+            if group[0].algorithm == alg and attempt <= int(max_attempt):
+                if mode == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if mode == "hang":
+                    import time
+
+                    while True:  # interruptible only by the watchdog
+                        time.sleep(0.02)
+                raise RuntimeError(
+                    f"injected test fault: {group[0].key()} attempt={attempt}"
+                )
+        return run_unit_group(group)
+    finally:
+        if disarm is not None:
+            disarm()
+
+
+def _execute_task(
+    task_units: List[WorkUnit],
+    attempt: int = 1,
+    unit_timeout: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Pool entry point for one scheduling task (1..R sibling units).
+
+    Normalises the return shape to one result dict per member so the
+    collector treats folded and singleton tasks identically.
+    """
+    if len(task_units) == 1:
+        return [execute_unit(task_units[0], attempt, unit_timeout)]
+    return execute_unit_group(task_units, attempt, unit_timeout)
 
 
 def _worker_init(
@@ -371,6 +508,14 @@ def run_parallel(
     once a unit overstays ``2 x unit_timeout + 5s``; the break is then
     handled exactly like a died worker (pool rebuild, in-flight units
     charged one attempt).
+
+    Replicated relaxed-engine presets are folded before scheduling:
+    pending sibling replicas become one task running a fused
+    :func:`~repro.simulator.replica_batch.run_replicated` sweep, with
+    both timeout budgets scaled by the group size.  Per-member results,
+    ledger records and failure reports are exactly those of unfolded
+    execution (packing invariance), so resume across differently-folded
+    runs is safe in both directions.
     """
     units = list(units)
     total = len(units)
@@ -401,6 +546,42 @@ def run_parallel(
             )
         else:
             pending_idx.append(i)
+
+    # fold sibling seed-replicas of a relaxed-engine preset into one
+    # scheduling task: the group runs as a single fused
+    # :func:`repro.simulator.replica_batch.run_replicated` sweep while
+    # every member keeps its own ledger record, result dict and retry
+    # accounting.  Packing invariance makes the partial groups a
+    # resumed ledger leaves behind just as foldable as full ones.
+    tasks: List[List[int]] = []
+    sibling_groups: Dict[Tuple, List[int]] = {}
+    for i in pending_idx:
+        u = units[i]
+        if u.preset.replicas > 1 and u.preset.engine in RELAXED_ENGINES:
+            gk = (
+                u.algorithm,
+                u.method,
+                u.ports,
+                u.sample,
+                u.rate,
+                u.seed_salt,
+                u.preset,
+            )
+            members = sibling_groups.get(gk)
+            if members is not None:
+                members.append(i)
+                continue
+            members = sibling_groups[gk] = [i]
+            tasks.append(members)  # list identity: grows with the group
+        else:
+            tasks.append([i])
+    for task in tasks:
+        task.sort(key=lambda i: units[i].replica)
+
+    def label(task: List[int]) -> str:
+        if len(task) == 1:
+            return f"{units[task[0]].key()}"
+        return f"{units[task[0]].key()} (+{len(task) - 1} replicas)"
 
     t0 = tick()
     fresh_done = 0
@@ -439,57 +620,68 @@ def run_parallel(
     cache_arg = None if cache_path is None else str(cache_path)
     shared_arg = None if shared_cache_path is None else str(shared_cache_path)
 
-    if max_workers <= 1 or len(pending_idx) <= 1:
+    if max_workers <= 1 or len(tasks) <= 1:
         if cache_arg is not None:
             set_process_cache(cache_arg, shared=shared_arg)
-        for i in pending_idx:
+        for task in tasks:
             attempt = 1
             while True:
                 try:
-                    res = execute_unit(units[i], attempt, unit_timeout)
+                    res_list = _execute_task(
+                        [units[i] for i in task], attempt, unit_timeout
+                    )
                 except Exception as exc:
                     if attempt > retries:
-                        finish_failed(i, attempt, exc)
+                        for i in task:
+                            finish_failed(i, attempt, exc)
                         break
                     say(
-                        f"[retry] {units[i].key()} attempt={attempt} "
+                        f"[retry] {label(task)} attempt={attempt} "
                         f"raised {exc!r}; retrying"
                     )
                     attempt += 1
                     continue
-                finish_ok(i, attempt, res)
+                for i, res in zip(task, res_list):
+                    finish_ok(i, attempt, res)
                 break
         return [results_by_idx[i] for i in sorted(results_by_idx)]
 
-    pending: Deque[Tuple[int, int]] = deque((i, 1) for i in pending_idx)
-    in_flight: Dict[Future, Tuple[int, int]] = {}
+    pending: Deque[Tuple[List[int], int]] = deque((t, 1) for t in tasks)
+    in_flight: Dict[Future, Tuple[List[int], int]] = {}
     deadlines: Dict[Future, float] = {}
     pool: Optional[ProcessPoolExecutor] = None
-    # collector-side backstop for hangs the in-worker SIGALRM cannot
-    # interrupt: give the watchdog one full budget to fire, then slack
-    hard_timeout = None if unit_timeout is None else 2 * unit_timeout + 5.0
 
-    def requeue(idx: int, attempt: int, exc: BaseException) -> None:
+    def hard_deadline(task: List[int]) -> Optional[float]:
+        # collector-side backstop for hangs the in-worker SIGALRM
+        # cannot interrupt: give the watchdog one full (group-scaled)
+        # budget to fire, then slack
+        if unit_timeout is None:
+            return None
+        return tick() + 2 * unit_timeout * len(task) + 5.0
+
+    def requeue(task: List[int], attempt: int, exc: BaseException) -> None:
         if attempt > retries:
-            finish_failed(idx, attempt, exc)
+            for i in task:
+                finish_failed(i, attempt, exc)
         else:
             say(
-                f"[retry] {units[idx].key()} attempt={attempt} "
+                f"[retry] {label(task)} attempt={attempt} "
                 f"raised {exc!r}; retrying"
             )
-            pending.append((idx, attempt + 1))
+            pending.append((task, attempt + 1))
 
-    def collect(fut: Future, idx: int, attempt: int) -> bool:
+    def collect(fut: Future, task: List[int], attempt: int) -> bool:
         """Fold one settled future in; True when the pool broke."""
         try:
-            res = fut.result()
+            res_list = fut.result()
         except BrokenProcessPool as exc:
-            requeue(idx, attempt, exc)
+            requeue(task, attempt, exc)
             return True
         except Exception as exc:
-            requeue(idx, attempt, exc)
+            requeue(task, attempt, exc)
             return False
-        finish_ok(idx, attempt, res)
+        for i, res in zip(task, res_list):
+            finish_ok(i, attempt, res)
         return False
 
     try:
@@ -505,21 +697,25 @@ def run_parallel(
             # started future would be charged an attempt when the pool
             # breaks, so never expose more units than workers exist
             while pending and not broken and len(in_flight) < max_workers:
-                i, attempt = pending.popleft()
+                task, attempt = pending.popleft()
                 try:
                     fut = pool.submit(
-                        execute_unit, units[i], attempt, unit_timeout
+                        _execute_task,
+                        [units[i] for i in task],
+                        attempt,
+                        unit_timeout,
                     )
                 except (BrokenProcessPool, RuntimeError):
-                    pending.appendleft((i, attempt))
+                    pending.appendleft((task, attempt))
                     broken = True
                 else:
-                    in_flight[fut] = (i, attempt)
-                    if hard_timeout is not None:
-                        deadlines[fut] = tick() + hard_timeout
+                    in_flight[fut] = (task, attempt)
+                    deadline = hard_deadline(task)
+                    if deadline is not None:
+                        deadlines[fut] = deadline
             if in_flight and not broken:
                 wait_budget = None
-                if hard_timeout is not None:
+                if unit_timeout is not None:
                     wait_budget = max(
                         0.0,
                         min(deadlines[f] for f in in_flight) - tick(),
@@ -530,25 +726,24 @@ def run_parallel(
                     return_when=FIRST_COMPLETED,
                 )
                 for fut in done:
-                    i, attempt = in_flight.pop(fut)
+                    task, attempt = in_flight.pop(fut)
                     deadlines.pop(fut, None)
-                    broken |= collect(fut, i, attempt)
-                if not done and hard_timeout is not None:
+                    broken |= collect(fut, task, attempt)
+                if not done and unit_timeout is not None:
                     # a worker overstayed the hard deadline without the
                     # in-worker watchdog firing (uninterruptible hang):
                     # kill the pool's processes — the break is handled
-                    # like any died worker, charging in-flight units an
+                    # like any died worker, charging in-flight tasks an
                     # attempt each
                     overdue = [
-                        units[in_flight[f][0]].key()
+                        label(in_flight[f][0])
                         for f in in_flight
                         if deadlines.get(f, float("inf")) <= tick()
                     ]
                     if overdue:
                         say(
-                            "[watchdog] unit(s) overstayed the hard "
-                            f"deadline ({hard_timeout:.0f}s): {overdue}; "
-                            "killing pool workers"
+                            "[watchdog] task(s) overstayed their hard "
+                            f"deadline: {overdue}; killing pool workers"
                         )
                         for proc in list(
                             getattr(pool, "_processes", {}).values()
@@ -559,12 +754,13 @@ def run_parallel(
                 # drain them all, then rebuild from scratch
                 say(
                     "[pool] worker process died; rebuilding pool "
-                    f"({len(in_flight)} unit(s) rescheduled)"
+                    f"({sum(len(t) for t, _ in in_flight.values())} "
+                    "unit(s) rescheduled)"
                 )
                 if in_flight:
                     wait(set(in_flight))
-                    for fut, (i, attempt) in list(in_flight.items()):
-                        collect(fut, i, attempt)
+                    for fut, (task, attempt) in list(in_flight.items()):
+                        collect(fut, task, attempt)
                     in_flight.clear()
                     deadlines.clear()
                 pool.shutdown(wait=False)

@@ -165,7 +165,10 @@ def run_tables(
             cache_path=artifact_cache,
             failures=result.failures,
         )
-    elif workers > 1 or ledger_path is not None:
+    elif workers > 1 or ledger_path is not None or preset.replicas > 1:
+        # replicated presets must expand into per-replica work units even
+        # on the serial path — the inline sweep below knows nothing about
+        # replicas and would silently run each cell once
         from repro.experiments.ledger import ResultLedger
         from repro.experiments.parallel import run_parallel, tables_units
 
@@ -194,7 +197,9 @@ def run_tables(
 
     if records is not None:
         for res in records:
-            alg, method, ports, sample, _rate = res["key"]
+            # replicated presets append a replica index to the unit key;
+            # each replica aggregates as one more independent observation
+            alg, method, ports, sample, _rate = res["key"][:5]
             report = dict(res["report"])
             for metric in _metric_order(report):
                 result.raw.append(

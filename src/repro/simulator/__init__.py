@@ -54,6 +54,11 @@ from repro.simulator.equivalence import (
     EquivalenceScenario,
     certify,
 )
+from repro.simulator.replica_batch import (
+    ReplicaBatchCore,
+    replica_seeds,
+    run_replicated,
+)
 from repro.simulator.stats import SimulationStats
 from repro.simulator.trace import PacketTrace, TraceRecorder
 from repro.simulator.vec_engine import VectorizedCore
@@ -80,6 +85,9 @@ __all__ = [
     "WormholeSimulator",
     "VectorizedCore",
     "BatchCore",
+    "ReplicaBatchCore",
+    "run_replicated",
+    "replica_seeds",
     "ArrayState",
     "EquivalenceScenario",
     "EquivalenceReport",

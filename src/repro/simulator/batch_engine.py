@@ -76,7 +76,7 @@ rebuild) is identical.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -247,14 +247,45 @@ class BatchCore(VectorizedCore):
         self._gen_ptr = 0
         self._gen_horizon = until
 
+    def _fire_arrival(self, s: int, clock: int, dead_switches) -> None:
+        """Fire one precomputed arrival at source *s*.
+
+        Dead-switch and queue-cap checks happen here, at fire time
+        (exactly where the reference applies them), so fault interaction
+        is unchanged; destination and length are drawn from the
+        packet-shaping stream in deterministic fire order.  Shared by
+        the sequential generation loop and the replica driver — per
+        replica, both fire the same events in the same order, so the
+        packet-shaping stream is consumed identically.
+        """
+        sim = self.sim
+        if s in dead_switches:
+            return  # a failed switch generates nothing
+        cfg = sim.config
+        stats = sim.stats
+        if cfg.max_queue is not None and len(sim.queues[s]) >= cfg.max_queue:
+            stats.on_generate(dropped=True)
+            return
+        rng = self._pkt_rng
+        dst = sim.traffic.destination(s, rng)
+        if dst in dead_switches:
+            stats.on_generate()
+            stats.on_lost()
+            return
+        length = cfg.sample_length(rng)
+        w = Worm(sim._next_pid, s, dst, length, clock)
+        sim._next_pid += 1
+        sim.worms[w.pid] = w
+        sim.queues[s].append(w)
+        stats.on_generate()
+        if sim.tracer is not None:
+            sim.tracer.record(clock, "gen", w.pid, w.src, w.dst)
+
     def _generate_batched(self) -> None:
         """Replacement for the engine's per-clock Bernoulli generation.
 
-        Fires the precomputed arrivals due this clock.  Dead-switch and
-        queue-cap checks happen at fire time (exactly where the
-        reference applies them), so fault interaction is unchanged;
-        destination and length are drawn from the packet-shaping stream
-        in deterministic fire order.
+        Fires the precomputed arrivals due this clock via
+        :meth:`_fire_arrival`.
         """
         sim = self.sim
         clock = sim.clock
@@ -267,33 +298,13 @@ class BatchCore(VectorizedCore):
         if ptr >= len(clks) or clks[ptr] > clock:
             return
         srcs = self._gen_srcs
-        cfg = sim.config
-        stats = sim.stats
-        rng = self._pkt_rng
+        fire = self._fire_arrival
         dead_switches = (
             sim.faults.dead_switches if sim.faults is not None else ()
         )
         while ptr < len(clks) and clks[ptr] <= clock:
-            s = srcs[ptr]
+            fire(srcs[ptr], clock, dead_switches)
             ptr += 1
-            if s in dead_switches:
-                continue  # a failed switch generates nothing
-            if cfg.max_queue is not None and len(sim.queues[s]) >= cfg.max_queue:
-                stats.on_generate(dropped=True)
-                continue
-            dst = sim.traffic.destination(s, rng)
-            if dst in dead_switches:
-                stats.on_generate()
-                stats.on_lost()
-                continue
-            length = cfg.sample_length(rng)
-            w = Worm(sim._next_pid, s, dst, length, clock)
-            sim._next_pid += 1
-            sim.worms[w.pid] = w
-            sim.queues[s].append(w)
-            stats.on_generate()
-            if sim.tracer is not None:
-                sim.tracer.record(clock, "gen", w.pid, w.src, w.dst)
         self._gen_ptr = ptr
 
     # ------------------------------------------------------------------
@@ -384,34 +395,43 @@ class BatchCore(VectorizedCore):
     # ------------------------------------------------------------------
     # one clock
     # ------------------------------------------------------------------
-    def move(self) -> bool:  # noqa: C901 - hot loop, kept flat
+    def move(self) -> bool:
         sim = self.sim
-        st = self.state
-        if self._dirty:
-            st.rebuild(sim)
-            self._refresh_after_rebuild()
-            self._dirty = False
-        cache = sim.decision_cache
-        if cache.epoch != self._cand_epoch:
-            self._on_epoch_change()
+        self._prepare_clock()
         stats = sim.stats
         clock = sim.clock
-        rec = stats.active
+        n_moves, drain_cand, freed_src = self._body_phase()
+        if stats.active:
+            stats.vec_moved_flits += int(n_moves)
+            stats.vec_clocks += 1
+        self._wheel_phase(clock)
+        granted = self._resolve_phase(clock, drain_cand, freed_src, None)
+        if sim._check_invariants:
+            self.sync()
+        return n_moves > 0 or granted
+
+    def _prepare_clock(self) -> None:
+        """Rebuild dirty state and refresh candidate rows if needed."""
+        sim = self.sim
+        if self._dirty:
+            self.state.rebuild(sim)
+            self._refresh_after_rebuild()
+            self._dirty = False
+        if sim.decision_cache.epoch != self._cand_epoch:
+            self._on_epoch_change()
+
+    def _body_phase(self) -> Tuple[int, List[int], List[int]]:
+        """Phase 1: batched body moves.
+
+        Returns ``(n_moves, drain_cand, freed_src)``.  The replica
+        driver replaces this with one fused sweep over the stacked
+        arrays and splits the zero hits back per replica.
+        """
+        st = self.state
         f = st.flits
         dn = st.dn
         cap_dn = st.cap_dn
-        cap_p, cap_sink = st.cap, st.cap_sink
-        C, SRC0, SINK0, D = st.C, st.SRC0, st.SINK0, st.D
-        occ = sim.channel_occ
-        occ_vec = st.occ
-        wheel = sim._wheel
-        tracer = sim.tracer
-        worms = sim.worms
-        ready_at = self._ready_at
-        tgt = self._tgt
-        occ_ext = self._occ_ext
-
-        # -- phase 1: batched body moves --------------------------------
+        SRC0 = st.SRC0
         # the active set (slots holding flits) is maintained across
         # clocks: grant commits append new slots, zero hits schedule a
         # compaction — the body only ever touches live slots
@@ -436,7 +456,7 @@ class BatchCore(VectorizedCore):
             dnact = dn[act]
             room = f[dnact] < cap_dn[act]
             movers = act[room]
-            n_moves = movers.size
+            n_moves = int(movers.size)
             if n_moves:
                 tgts = dnact[room]
                 f[movers] -= 1
@@ -449,16 +469,54 @@ class BatchCore(VectorizedCore):
                         freed_src.append(k - SRC0)
                     else:
                         drain_cand.append(k)
-        if rec:
-            stats.vec_moved_flits += int(n_moves)
-            stats.vec_clocks += 1
+        return n_moves, drain_cand, freed_src
 
-        # -- phase 2: refresh woken injection sources -------------------
+    def _wheel_phase(self, clock: int) -> None:
+        """Phase 2: refresh woken injection sources.
+
+        Must run before request extraction — injection scans arm
+        same-clock requests in ``_ready_at``.
+        """
+        wheel = self.sim._wheel
         timers = wheel._timers
         if timers and timers[0][0] <= clock:
             wheel.advance(clock)
         if wheel.pending:
             self._scan_injections(wheel.pending, clock)
+
+    def _resolve_phase(  # noqa: C901 - hot loop, kept flat
+        self,
+        clock: int,
+        drain_cand: List[int],
+        freed_src: List[int],
+        reqs: Optional[Sequence[int]],
+    ) -> bool:
+        """Phases 3–4: arbitration, grant commits, drains, completions.
+
+        *reqs* is the due-request slot set (an ascending array or plain
+        list); ``None`` means "extract it here" (the sequential path).
+        The replica driver extracts one global array and passes each
+        replica its slice, preserving the ascending slot order this
+        method's RNG consumption depends on.  Returns True when any
+        grant was issued this clock.
+        """
+        sim = self.sim
+        st = self.state
+        stats = sim.stats
+        rec = stats.active
+        f = st.flits
+        dn = st.dn
+        cap_dn = st.cap_dn
+        cap_p, cap_sink = st.cap, st.cap_sink
+        C, SRC0, SINK0, D = st.C, st.SRC0, st.SINK0, st.D
+        occ = sim.channel_occ
+        occ_vec = st.occ
+        wheel = sim._wheel
+        tracer = sim.tracer
+        worms = sim.worms
+        ready_at = self._ready_at
+        tgt = self._tgt
+        occ_ext = self._occ_ext
 
         # -- key arbitration --------------------------------------------
         # the request set covers parked headers and cached injections in
@@ -467,8 +525,9 @@ class BatchCore(VectorizedCore):
         grants: List[tuple] = []
         consume_occ = sim.consume_occ
         subs = self._subs
-        reqs = (ready_at <= clock).nonzero()[0]
-        n_req = reqs.size
+        if reqs is None:
+            reqs = (ready_at <= clock).nonzero()[0]
+        n_req = len(reqs)
         pws: List[int] = []
         tws: List[int] = []
         if 0 < n_req <= _SMALL_ARB:
@@ -479,7 +538,7 @@ class BatchCore(VectorizedCore):
             # The free tests all happen before any claim, so the
             # snapshot semantics match the vectorized branch exactly.
             groups: Dict[int, List[int]] = {}
-            for h in reqs.tolist():
+            for h in (reqs if type(reqs) is list else reqs.tolist()):
                 t = int(tgt[h])
                 if (occ[t] if t < C else consume_occ[t - C]) == FREE:
                     g = groups.get(t)
@@ -501,6 +560,8 @@ class BatchCore(VectorizedCore):
                     pws.append(g[int(self._arb_rng.integers(len(g)))])
                 tws.append(t)
         elif n_req:
+            if type(reqs) is list:
+                reqs = np.asarray(reqs, dtype=np.int64)
             tg = tgt[reqs]
             idx = (occ_ext[tg] == FREE).nonzero()[0]
             if idx.size != tg.size:
@@ -733,9 +794,7 @@ class BatchCore(VectorizedCore):
             for w in finished:
                 sim.worms.pop(w.pid, None)
 
-        if sim._check_invariants:
-            self.sync()
-        return n_moves > 0 or bool(grants)
+        return bool(grants)
 
     # ------------------------------------------------------------------
     # injection request cache

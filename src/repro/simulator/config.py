@@ -123,6 +123,12 @@ class SimulationConfig:
     length_mix: Optional[tuple] = None
     fast_path: bool = True
     engine: Optional[str] = None
+    #: seed-replica count for the replica-batched driver
+    #: (:func:`repro.simulator.replica_batch.run_replicated`).  ``None``
+    #: or 1 means a plain single run; R > 1 stacks R seed-replicas of
+    #: this scenario into one fused array sweep.  Only meaningful with
+    #: ``engine="batch"`` — the scalar/bit-exact engines ignore it.
+    replicas: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.packet_length < 1:
@@ -150,6 +156,8 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r}; pick one of {ENGINES}"
             )
+        if self.replicas is not None and self.replicas < 1:
+            raise ValueError("replicas must be >= 1 (or None)")
         if self.length_mix is not None:
             mix = tuple(self.length_mix)
             if not mix:

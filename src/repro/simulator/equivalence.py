@@ -67,6 +67,8 @@ from repro.simulator.config import (
     SimulationConfig,
 )
 from repro.simulator.engine import WormholeSimulator
+from repro.simulator.replica_batch import run_replicated
+from repro.simulator.traffic import HotspotTraffic, TornadoTraffic
 from repro.topology.generator import random_irregular_topology
 
 #: per-seed scalar metrics the paired-t certification covers
@@ -85,8 +87,8 @@ class EquivalenceScenario:
 
     A scenario pins everything but the engine: topology (size, ports,
     generator seed), routing (down/up on the coordinated tree) and the
-    traffic configuration.  Paired runs then differ *only* in the step
-    implementation.
+    traffic configuration — spatial pattern included.  Paired runs
+    then differ *only* in the step implementation.
     """
 
     name: str
@@ -97,6 +99,13 @@ class EquivalenceScenario:
     warmup_clocks: int = 300
     measure_clocks: int = 1200
     topology_seed: int = 0xA11CE
+    #: spatial traffic pattern: ``"uniform"`` (default), ``"hotspot"``
+    #: (a quarter of the load converging on two switches) or
+    #: ``"tornado"`` (fixed half-ring stride, defeats locality)
+    traffic: str = "uniform"
+    #: per-scenario override of :data:`KS_INFLATION`; ``None`` uses
+    #: the module default
+    ks_inflation: Optional[float] = None
 
     def config(self, engine: str, seed: int) -> SimulationConfig:
         return SimulationConfig(
@@ -108,6 +117,20 @@ class EquivalenceScenario:
             engine=engine,
         )
 
+    def traffic_pattern(self):
+        """The (stateless) traffic pattern instance, or None (uniform)."""
+        if self.traffic == "uniform":
+            return None
+        if self.traffic == "hotspot":
+            return HotspotTraffic(
+                self.switches,
+                hotspots=(0, self.switches // 2),
+                fraction=0.25,
+            )
+        if self.traffic == "tornado":
+            return TornadoTraffic(self.switches)
+        raise ValueError(f"unknown traffic pattern {self.traffic!r}")
+
 
 #: default certification matrix: low load (latency-dominated), mid load
 #: (contention appears) and near-saturation (arbitration-dominated) on
@@ -117,6 +140,23 @@ QUICK_MATRIX: Tuple[EquivalenceScenario, ...] = (
     EquivalenceScenario("quick-low", injection_rate=0.15),
     EquivalenceScenario("quick-mid", injection_rate=0.45),
     EquivalenceScenario("quick-high", injection_rate=0.8),
+    # spatially skewed patterns exercise arbitration paths uniform
+    # traffic never stresses: hotspot piles contention onto two
+    # consumption ports, tornado onto one rotational direction of the
+    # tree.  Both run at mid load so the skew (not saturation) is the
+    # operative stressor.  Calibration (paired null runs, seeds 0-9):
+    # hotspot's null KS distance sits at ~0.77x the iid threshold —
+    # inside the default inflation's budget — while tornado's reaches
+    # ~0.97x: its fixed stride gives every source one deterministic
+    # path, so pooled latencies collapse into per-source modes and the
+    # effective sample size drops further than queueing alone explains.
+    # Tornado therefore carries a 2.5x inflation (null margin ~2.6x,
+    # while the +20% biased stub the self-test injects still lands
+    # ~4x the iid threshold and is rejected).
+    EquivalenceScenario("quick-hotspot", injection_rate=0.45,
+                        traffic="hotspot"),
+    EquivalenceScenario("quick-tornado", injection_rate=0.45,
+                        traffic="tornado", ks_inflation=2.5),
 )
 
 
@@ -369,13 +409,33 @@ def _scenario_runs(
     seeds: Sequence[int],
     routing,
 ) -> Tuple[List[Dict[str, float]], List[float], List[str]]:
-    """Per-seed metric rows, pooled latencies and fingerprints."""
+    """Per-seed metric rows, pooled latencies and fingerprints.
+
+    Relaxed candidates run through the replica-batched driver: the
+    whole seed set becomes one fused sweep, whose per-replica results
+    the packing-invariance contract pins to the sequential runs seed
+    for seed — so verdicts are unchanged and the certification pays
+    the per-clock dispatch wall once instead of ``len(seeds)`` times.
+    """
+    traffic = scenario.traffic_pattern()
+    if engine in RELAXED_ENGINES and len(seeds) > 1:
+        results = run_replicated(
+            routing,
+            scenario.config(engine, 0),
+            seeds=list(seeds),
+            traffic=traffic,
+        )
+    else:
+        results = [
+            WormholeSimulator(
+                routing, scenario.config(engine, seed), traffic=traffic
+            ).run()
+            for seed in seeds
+        ]
     rows: List[Dict[str, float]] = []
     pooled: List[float] = []
     prints: List[str] = []
-    for seed in seeds:
-        sim = WormholeSimulator(routing, scenario.config(engine, seed))
-        stats = sim.run()
+    for stats in results:
         rows.append(
             {
                 "delivered_fraction": stats.delivered_fraction,
@@ -443,6 +503,11 @@ def certify(
                     per_test,
                     per_test,
                     prints,
+                    ks_inflation=(
+                        KS_INFLATION
+                        if sc.ks_inflation is None
+                        else sc.ks_inflation
+                    ),
                 )
             )
     return EquivalenceReport(

@@ -150,3 +150,36 @@ class ArrayState:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         held = int(np.count_nonzero(self.flits[: self.C]))
         return f"ArrayState(C={self.C}, S={self.S}, held_channels={held})"
+
+
+def stack_states(states):
+    """Re-home R per-replica :class:`ArrayState`s into stacked storage.
+
+    Allocates C-contiguous ``(R, K)`` arrays holding every replica's
+    ``flits`` / ``dn`` / ``cap_at`` / ``cap_dn``, copies the current
+    per-replica contents in, and rebinds each state's attributes to its
+    *row view* of the stack.  Because the rows are views, all existing
+    scalar code paths (grant commits, drains, :meth:`ArrayState.rebuild`,
+    which writes in place) keep working unchanged on the shared memory,
+    while the replica driver sweeps all rows at once through the flat
+    ``.reshape(-1)`` aliases.
+
+    ``occ`` is *not* stacked: the batch core rebinds it as a view of
+    its own extended-occupancy array, which stays per replica.
+
+    All states must have identical geometry (same K); returns the four
+    stacked arrays ``(flits, dn, cap_at, cap_dn)``.
+    """
+    K = states[0].K
+    if any(st.K != K for st in states):
+        raise ValueError("stack_states requires identical state geometry")
+    flits = np.stack([st.flits for st in states])
+    dn = np.stack([st.dn for st in states])
+    cap_at = np.stack([st.cap_at for st in states])
+    cap_dn = np.stack([st.cap_dn for st in states])
+    for r, st in enumerate(states):
+        st.flits = flits[r]
+        st.dn = dn[r]
+        st.cap_at = cap_at[r]
+        st.cap_dn = cap_dn[r]
+    return flits, dn, cap_at, cap_dn

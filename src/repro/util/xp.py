@@ -1,0 +1,117 @@
+"""Thin array-backend seam for the stacked (replica-batched) kernels.
+
+The replica-batched simulation core (:mod:`repro.simulator.replica_batch`)
+writes its fused per-clock kernels against this module instead of
+importing :mod:`numpy` directly, so the stacked array work — the only
+part of the clock loop that is pure bulk arithmetic — has a single
+place where an accelerator backend could be swapped in.
+
+Backend selection is by the ``REPRO_ARRAY_BACKEND`` environment
+variable, read once at import:
+
+``numpy`` (default, and the only *certified* backend)
+    Everything in CI, every committed benchmark and every equivalence
+    certificate runs on numpy.  The determinism contract (replica
+    packing is fingerprint-invariant) is only asserted here.
+``cupy`` / ``torch``
+    Feature-gated experiments: selected only explicitly, never by
+    auto-detection, and refused with a clear error when the library is
+    not installed.  Results produced on these backends are *not*
+    covered by the equivalence certificates — floating-point
+    reductions, RNG bit streams and integer overflow semantics may all
+    differ — so they must be re-certified before feeding any paper
+    artefact (see docs/simulator.md, "the array-backend seam").
+
+The seam is deliberately *thin*: it exposes the array namespace
+(``xp``), the handful of helpers the stacked kernels need, and
+explicit host/device transfer points (:func:`to_device` /
+:func:`to_host`).  Scalar bookkeeping (worm objects, queues,
+arbitration fallbacks) always stays on the host in numpy/Python —
+the seam covers the stacked bulk phases only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Tuple
+
+import numpy
+
+#: environment variable naming the backend (read once at import)
+BACKEND_ENV = "REPRO_ARRAY_BACKEND"
+
+#: backends this seam knows how to load
+KNOWN_BACKENDS: Tuple[str, ...] = ("numpy", "cupy", "torch")
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested array backend is not importable in this environment."""
+
+
+def _load_backend(name: str) -> Any:
+    """Import and return the array namespace for *name*.
+
+    ``torch`` is wrapped in a tiny adapter exposing the numpy-style
+    subset the kernels use; ``cupy`` is numpy-compatible as-is.
+    """
+    if name == "numpy":
+        return numpy
+    if name == "cupy":
+        try:
+            import cupy  # type: ignore[import-not-found]
+        except ImportError as exc:  # pragma: no cover - optional dep
+            raise BackendUnavailable(
+                f"{BACKEND_ENV}=cupy but cupy is not installed; install "
+                "cupy matching your CUDA toolkit, or unset the variable"
+            ) from exc
+        return cupy  # pragma: no cover - optional dep
+    if name == "torch":
+        try:
+            import torch  # type: ignore[import-not-found]  # noqa: F401
+        except ImportError as exc:  # pragma: no cover - optional dep
+            raise BackendUnavailable(
+                f"{BACKEND_ENV}=torch but torch is not installed; "
+                "install pytorch, or unset the variable"
+            ) from exc
+        # torch's numpy-compat namespace covers the kernel subset
+        # (zeros/full/concatenate/searchsorted/...) in recent releases
+        return torch  # pragma: no cover - optional dep
+    raise ValueError(
+        f"{BACKEND_ENV}={name!r} is not one of {KNOWN_BACKENDS}"
+    )
+
+
+#: the selected backend's name (``numpy`` unless overridden)
+BACKEND_NAME: str = os.environ.get(BACKEND_ENV, "numpy").strip() or "numpy"
+
+#: the array namespace the stacked kernels import (``from repro.util.xp
+#: import xp``); numpy-compatible by contract
+xp: Any = _load_backend(BACKEND_NAME)
+
+
+def is_numpy() -> bool:
+    """True when the seam resolves to plain numpy (the certified path).
+
+    The replica core consults this to decide whether zero-copy row
+    views into engine state are legal: only the numpy backend shares
+    memory with the per-replica scalar bookkeeping.
+    """
+    return BACKEND_NAME == "numpy"
+
+
+def to_device(arr: "numpy.ndarray") -> Any:
+    """Move a host (numpy) array onto the selected backend."""
+    if BACKEND_NAME == "numpy":
+        return arr
+    if BACKEND_NAME == "cupy":  # pragma: no cover - optional dep
+        return xp.asarray(arr)
+    return xp.from_numpy(arr)  # pragma: no cover - optional dep
+
+
+def to_host(arr: Any) -> "numpy.ndarray":
+    """Return *arr* as a host numpy array (copying off-device if needed)."""
+    if BACKEND_NAME == "numpy":
+        return arr
+    if BACKEND_NAME == "cupy":  # pragma: no cover - optional dep
+        return xp.asnumpy(arr)
+    return arr.cpu().numpy()  # pragma: no cover - optional dep

@@ -232,6 +232,35 @@ class TestSTA006RandomnessReferences:
             )
 
 
+class TestSTA007ArrayBackends:
+    def test_plain_import_fires(self):
+        assert codes("import cupy\n") == ["STA007"]
+
+    def test_torch_import_fires(self):
+        assert codes("import torch\nx = torch.zeros(3)\n") == ["STA007"]
+
+    def test_from_import_fires(self):
+        assert codes("from cupy import asarray\n") == ["STA007"]
+
+    def test_submodule_import_fires(self):
+        assert codes("import jax.numpy as jnp\n") == ["STA007"]
+
+    def test_aliased_import_fires(self):
+        assert codes("import torch as th\n") == ["STA007"]
+
+    def test_xp_seam_is_allowed(self):
+        assert (
+            codes("import cupy\n", module_rel="repro/util/xp.py") == []
+        )
+
+    def test_numpy_stays_fine(self):
+        assert codes("import numpy as np\nx = np.zeros(3)\n") == []
+
+    def test_repro_util_xp_import_is_fine(self):
+        # importing the seam itself is the sanctioned pattern
+        assert codes("from repro.util.xp import xp, to_device\n") == []
+
+
 class TestMachinery:
     def test_syntax_error_reported_as_sta000(self):
         assert codes("def broken(:\n") == ["STA000"]
